@@ -1,0 +1,215 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment at a reduced scale and reports the
+// headline domain metric alongside wall-clock time, so `go test -bench=.`
+// both exercises the full pipeline and prints the reproduction numbers.
+//
+// EXPERIMENTS.md records the paper-vs-measured comparison produced by the
+// full-size runs of cmd/xmpsim.
+package xmp_test
+
+import (
+	"testing"
+
+	"xmp/internal/exp"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/workload"
+)
+
+// benchInterval keeps the small-topology experiments quick per iteration.
+const benchInterval = 250 * sim.Millisecond
+
+func BenchmarkFig1(b *testing.B) {
+	for _, mode := range []exp.Fig1Mode{exp.Fig1DCTCP, exp.Fig1Halving} {
+		b.Run(string(mode), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunFig1(exp.Fig1Config{Mode: mode, K: 20, Interval: benchInterval})
+				util = 0
+				for f := 0; f < 4; f++ {
+					util += r.Series[f].AvgRateBps(3*20, 4*20) / float64(r.Capacity)
+				}
+			}
+			b.ReportMetric(util, "bottleneck-util")
+		})
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for _, beta := range []int{4, 6} {
+		b.Run(map[int]string{4: "beta4", 6: "beta6"}[beta], func(b *testing.B) {
+			var shifted float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunFig4(exp.Fig4Config{Beta: beta, Phase: 2 * benchInterval})
+				// How much of subflow 1's baseline rate moved away under load.
+				shifted = r.PhaseAvg[0][0] - r.PhaseAvg[1][0]
+			}
+			b.ReportMetric(shifted, "rate-shifted")
+		})
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for _, beta := range []int{4, 6} {
+		b.Run(map[int]string{4: "beta4", 6: "beta6"}[beta], func(b *testing.B) {
+			var jain float64
+			for i := 0; i < b.N; i++ {
+				jain = exp.RunFig6(exp.Fig6Config{Beta: beta, Unit: 2 * benchInterval}).Jain
+			}
+			b.ReportMetric(jain, "jain")
+		})
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for _, s := range exp.Fig7Settings {
+		b.Run(map[int]string{4: "beta4K20", 5: "beta5K15", 6: "beta6K10"}[s.Beta], func(b *testing.B) {
+			var compensation float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunFig7(exp.Fig7Config{Setting: s, Unit: benchInterval})
+				// Flow 2-1's gain while L3 is loaded: the compensation signal.
+				compensation = r.EpochRate(1, 0, 8) - r.EpochRate(1, 0, 4)
+			}
+			b.ReportMetric(compensation, "compensation")
+		})
+	}
+}
+
+// benchFatTree runs one (pattern, scheme) cell at bench scale.
+func benchFatTree(b *testing.B, p exp.Pattern, s workload.Scheme) *exp.FatTreeResult {
+	b.Helper()
+	var r *exp.FatTreeResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunFatTree(exp.FatTreeConfig{
+			Pattern:   p,
+			Scheme:    s,
+			K:         4,
+			Duration:  40 * sim.Millisecond,
+			SizeScale: 256,
+		})
+	}
+	return r
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, s := range exp.Table1Schemes {
+		s := s
+		for _, p := range []exp.Pattern{exp.Permutation, exp.Random, exp.Incast} {
+			b.Run(s.Label()+"/"+string(p), func(b *testing.B) {
+				r := benchFatTree(b, p, s)
+				b.ReportMetric(r.Collector.Goodput.Mean(), "goodput-Mbps")
+			})
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var cell exp.Table2Cell
+	for i := 0; i < b.N; i++ {
+		r := exp.RunTable2(exp.Table2Config{
+			KAry:        4,
+			Duration:    40 * sim.Millisecond,
+			SizeScale:   256,
+			QueueLimits: []int{100},
+			Others:      []workload.Scheme{exp.SchemeTCP},
+		}, nil)
+		cell = r.Cells[0]
+	}
+	b.ReportMetric(cell.XMPGoodput, "xmp-Mbps")
+	b.ReportMetric(cell.OtherGoodput, "tcp-Mbps")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for _, s := range []workload.Scheme{exp.SchemeDCTCP, exp.SchemeXMP2, exp.SchemeLIA2} {
+		s := s
+		b.Run(s.Label(), func(b *testing.B) {
+			r := benchFatTree(b, exp.Incast, s)
+			b.ReportMetric(r.Collector.JCT.Mean(), "jct-ms")
+			b.ReportMetric(r.Collector.JCT.FractionAbove(300), "frac>300ms")
+		})
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	r := benchFatTree(b, exp.Permutation, exp.SchemeXMP2)
+	b.ReportMetric(r.Collector.Goodput.Percentile(10), "p10-Mbps")
+	b.ReportMetric(r.Collector.Goodput.Percentile(90), "p90-Mbps")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	r := benchFatTree(b, exp.Incast, exp.SchemeXMP2)
+	b.ReportMetric(r.Collector.JCT.CDFAt(15), "cdf@15ms")
+	b.ReportMetric(r.Collector.JCT.CDFAt(250), "cdf@250ms")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	r := benchFatTree(b, exp.Random, exp.SchemeXMP2)
+	b.ReportMetric(r.Collector.RTT[topo.InterPod].Mean(), "interpod-rtt-ms")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	r := benchFatTree(b, exp.Random, exp.SchemeXMP2)
+	core := r.UtilByLayer[topo.LayerCore]
+	b.ReportMetric(core.Percentile(50), "core-util-p50")
+	b.ReportMetric(core.Max()-core.Min(), "core-util-spread")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	var rs []exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		rs = exp.RunAblations(10)
+	}
+	b.ReportMetric(rs[0].Utilization, "baseline-util")
+	b.ReportMetric(rs[len(rs)-1].Utilization, "no-guard-util")
+}
+
+func BenchmarkParamSweep(b *testing.B) {
+	var pts []exp.ParamPoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.RunParamSweep([]int{4}, []int{10}, 20*sim.Millisecond, nil)
+	}
+	b.ReportMetric(pts[0].GoodputMbps, "goodput-Mbps")
+	b.ReportMetric(pts[0].RTTMs, "rtt-ms")
+}
+
+func BenchmarkIncastSweep(b *testing.B) {
+	var pts []exp.IncastSweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.RunIncastSweep([]int{8}, 40*sim.Millisecond, nil)
+	}
+	b.ReportMetric(pts[0].P50Ms, "jct-p50-ms")
+}
+
+func BenchmarkSACKAblation(b *testing.B) {
+	var rs []exp.SACKAblationResult
+	for i := 0; i < b.N; i++ {
+		rs = exp.RunSACKAblation(20*sim.Millisecond, nil, exp.SchemeTCP)
+	}
+	b.ReportMetric(rs[0].PlainGoodput, "tcp-plain-Mbps")
+	b.ReportMetric(rs[0].SACKGoodput, "tcp-sack-Mbps")
+}
+
+func BenchmarkVL2(b *testing.B) {
+	var pts []exp.VL2Point
+	for i := 0; i < b.N; i++ {
+		pts = exp.RunVL2Comparison([]workload.Scheme{exp.SchemeXMP2}, 40*sim.Millisecond, nil)
+	}
+	b.ReportMetric(pts[0].GoodputMbps, "goodput-Mbps")
+}
+
+// BenchmarkEngine measures the raw event-processing rate of the
+// discrete-event core — the substrate every experiment above runs on.
+func BenchmarkEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(sim.Microsecond, fn)
+		}
+	}
+	b.ResetTimer()
+	eng.Schedule(sim.Microsecond, fn)
+	eng.Run(sim.MaxTime)
+}

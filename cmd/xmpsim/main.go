@@ -1,0 +1,258 @@
+// Command xmpsim regenerates the tables and figures of "Explicit
+// Multipath Congestion Control for Data Center Networks" (CoNEXT 2013)
+// on the library's discrete-event simulator.
+//
+// Usage:
+//
+//	xmpsim fig1|fig4|fig6|fig7|table1|table2|table3|fig8|fig9|fig10|fig11|ablation|sweep|all [flags]
+//
+// Experiments run at a reduced default scale (see EXPERIMENTS.md); use
+// -timescale and -sizescale to move toward the paper's magnitudes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xmp/internal/exp"
+	"xmp/internal/sim"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `xmpsim — reproduce the XMP (CoNEXT'13) evaluation
+
+Subcommands:
+  fig1      DCTCP vs fixed halving under threshold marking (4-flow bottleneck)
+  fig4      TraSh traffic shifting on the two-DN testbed (beta 4 vs 6)
+  fig6      fairness across subflow counts on one bottleneck (beta 4 vs 6)
+  fig7      rate compensation on the 5-bottleneck torus (3 beta/K settings)
+  table1    average goodput: 5 schemes x 3 fat-tree patterns
+  table2    coexistence goodput: XMP vs LIA/TCP/DCTCP at queue 50/100
+  table3    incast job completion times (avg, >300ms)
+  fig8      goodput CDFs and locality percentiles
+  fig9      job completion time CDFs
+  fig10     RTT distributions by locality
+  fig11     link utilization by layer
+  matrix    run the full pattern x scheme matrix once; print tables 1,3 + figs 8-11
+  ablation  marking-rule / echo-mode / cwr-guard ablations
+  sweep     XMP goodput vs subflow count (1,2,4,8)
+  params    (beta, K) sensitivity grid (the paper's future-work study)
+  incastsweep  job completion vs fan-in (4..32 servers)
+  sack      SACK vs NewReno ablation for the loss-based schemes
+  vl2       scheme comparison on a VL2 Clos fabric (generalization)
+  all       everything above
+
+Flags (after the subcommand):
+`)
+	flag.PrintDefaults()
+}
+
+var (
+	timescale = flag.Float64("timescale", 1, "multiply run durations (10 approaches the paper's)")
+	sizescale = flag.Int64("sizescale", 16, "divide the paper's flow sizes by this factor")
+	seed      = flag.Int64("seed", 1, "workload random seed")
+	kary      = flag.Int("k", 8, "fat-tree arity")
+	quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+	jsonOut   = flag.String("json", "", "also write machine-readable results to this file (matrix/table1/table2/fig8-11)")
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	flag.CommandLine.Parse(os.Args[2:])
+	flag.Usage = usage
+
+	start := time.Now()
+	switch cmd {
+	case "fig1":
+		runFig1()
+	case "fig4":
+		runFig4()
+	case "fig6":
+		runFig6()
+	case "fig7":
+		runFig7()
+	case "table1", "table3", "fig8", "fig9", "fig10", "fig11", "matrix":
+		runMatrix(cmd)
+	case "table2":
+		runTable2()
+	case "ablation":
+		runAblation()
+	case "sweep":
+		runSweep()
+	case "params":
+		exp.RenderParamSweep(os.Stdout, exp.RunParamSweep(nil, nil, scaleT(100*sim.Millisecond), progress()))
+	case "incastsweep":
+		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), progress()))
+	case "sack":
+		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), progress()))
+	case "vl2":
+		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), progress()))
+	case "all":
+		runFig1()
+		runFig4()
+		runFig6()
+		runFig7()
+		runMatrix("matrix")
+		runTable2()
+		runAblation()
+		runSweep()
+		exp.RenderParamSweep(os.Stdout, exp.RunParamSweep(nil, nil, scaleT(100*sim.Millisecond), progress()))
+		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), progress()))
+		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), progress()))
+		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), progress()))
+	default:
+		usage()
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+func scaleT(d sim.Duration) sim.Duration {
+	return sim.Duration(float64(d) * *timescale)
+}
+
+func progress() *os.File {
+	if *quiet {
+		return nil
+	}
+	return os.Stderr
+}
+
+func runFig1() {
+	for _, panel := range []struct {
+		mode exp.Fig1Mode
+		k    int
+	}{
+		{exp.Fig1DCTCP, 10}, {exp.Fig1DCTCP, 20},
+		{exp.Fig1Halving, 10}, {exp.Fig1Halving, 20},
+	} {
+		r := exp.RunFig1(exp.Fig1Config{Mode: panel.mode, K: panel.k, Interval: scaleT(sim.Second)})
+		r.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func runFig4() {
+	for _, beta := range []int{4, 6} {
+		r := exp.RunFig4(exp.Fig4Config{Beta: beta, Phase: scaleT(2 * sim.Second)})
+		r.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func runFig6() {
+	for _, beta := range []int{4, 6} {
+		r := exp.RunFig6(exp.Fig6Config{Beta: beta, Unit: scaleT(sim.Second)})
+		r.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func runFig7() {
+	for _, setting := range exp.Fig7Settings {
+		r := exp.RunFig7(exp.Fig7Config{Setting: setting, Unit: scaleT(sim.Second)})
+		r.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func matrixBase() exp.FatTreeConfig {
+	return exp.FatTreeConfig{
+		K:         *kary,
+		SizeScale: *sizescale,
+		Seed:      *seed,
+	}
+}
+
+func runMatrix(cmd string) {
+	base := matrixBase()
+	// Scale the per-pattern default horizons.
+	patterns := []exp.Pattern{exp.Permutation, exp.Random, exp.Incast}
+	if *timescale != 1 {
+		// Durations default per pattern inside RunFatTree; apply the
+		// multiplier by setting them explicitly.
+		base.Duration = scaleT(200 * sim.Millisecond)
+	}
+	m := exp.RunMatrix(base, patterns, exp.Table1Schemes, progress())
+	writeJSON(func(w *os.File) error { return m.WriteJSON(w) })
+	fmt.Println()
+	switch cmd {
+	case "table1":
+		m.RenderTable1(os.Stdout)
+	case "table3":
+		m.RenderTable3(os.Stdout)
+	case "fig8":
+		m.RenderFig8(os.Stdout)
+	case "fig9":
+		m.RenderFig9(os.Stdout)
+	case "fig10":
+		m.RenderFig10(os.Stdout)
+	case "fig11":
+		m.RenderFig11(os.Stdout)
+	default:
+		m.RenderTable1(os.Stdout)
+		fmt.Println()
+		m.RenderTable3(os.Stdout)
+		fmt.Println()
+		m.RenderFig8(os.Stdout)
+		fmt.Println()
+		m.RenderFig9(os.Stdout)
+		fmt.Println()
+		m.RenderFig10(os.Stdout)
+		fmt.Println()
+		m.RenderFig11(os.Stdout)
+	}
+}
+
+func runTable2() {
+	// Both switch models for non-ECT traffic: the coexistence outcome
+	// hinges on whether loss-based flows may fill the buffer past K (see
+	// EXPERIMENTS.md).
+	for _, strict := range []bool{false, true} {
+		r := exp.RunTable2(exp.Table2Config{
+			KAry:         *kary,
+			SizeScale:    *sizescale,
+			Seed:         *seed,
+			Duration:     scaleT(200 * sim.Millisecond),
+			StrictNonECT: strict,
+		}, progress())
+		if strict {
+			writeJSON(func(w *os.File) error { return r.WriteJSON(w) })
+		}
+		fmt.Println()
+		r.Render(os.Stdout)
+	}
+}
+
+// writeJSON emits machine-readable results when -json is set.
+func writeJSON(write func(*os.File) error) {
+	if *jsonOut == "" {
+		return
+	}
+	f, err := os.Create(*jsonOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+}
+
+func runAblation() {
+	exp.RenderAblations(os.Stdout, exp.RunAblations(10))
+}
+
+func runSweep() {
+	rs := exp.RunSubflowSweep([]int{1, 2, 4, 8}, scaleT(50*sim.Millisecond))
+	exp.RenderSubflowSweep(os.Stdout, rs)
+}

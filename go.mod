@@ -1,0 +1,3 @@
+module xmp
+
+go 1.22

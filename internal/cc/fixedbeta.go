@@ -1,0 +1,125 @@
+package cc
+
+// FixedBeta is the single-path precursor of BOS that Figure 1(c)/(d)
+// evaluates under the name "halving cwnd" (β=2): threshold-ECN marking at
+// the switch, and the sender cuts cwnd by 1/β at most once per round when
+// an ACK echoes CE, growing by one segment per round otherwise.
+//
+// It differs from the full BOS in internal/core only in that its per-round
+// additive increase δ is fixed at 1 instead of being tuned by TraSh — which
+// is exactly the starting point Section 2.1 of the paper builds from.
+type FixedBeta struct {
+	cwnd     int
+	ssthresh int
+	beta     int
+
+	// Round bookkeeping (Figure 2 of the paper): a round ends when
+	// snd_una passes begSeq.
+	begSeq int64
+	// cwr_seq guard: one reduction per round.
+	reduced bool
+	cwrSeq  int64
+
+	adder float64
+	delta float64
+}
+
+// NewFixedBeta returns a threshold-ECN controller with reduction factor
+// 1/beta (beta >= 2).
+func NewFixedBeta(initialCwnd, beta int) *FixedBeta {
+	if beta < 2 {
+		panic("cc: beta must be >= 2")
+	}
+	if initialCwnd < MinWindow {
+		initialCwnd = MinWindow
+	}
+	return &FixedBeta{
+		cwnd:     initialCwnd,
+		ssthresh: DefaultSsthresh,
+		beta:     beta,
+		begSeq:   -1,
+		delta:    1,
+	}
+}
+
+// Name implements Controller.
+func (f *FixedBeta) Name() string { return "fixed-beta" }
+
+// ECNCapable implements Controller.
+func (f *FixedBeta) ECNCapable() bool { return true }
+
+// Window implements Controller.
+func (f *FixedBeta) Window() int { return f.cwnd }
+
+// Beta returns the configured reduction divisor.
+func (f *FixedBeta) Beta() int { return f.beta }
+
+// OnAck implements Controller, following the BOS pseudo-code (Algorithm 1)
+// with δ pinned to 1.
+func (f *FixedBeta) OnAck(a Ack) {
+	if f.begSeq < 0 {
+		f.begSeq = a.SndNxt
+	}
+	// Per-round operations.
+	if a.SndUna > f.begSeq {
+		if !f.reduced && f.cwnd > f.ssthresh {
+			// Congestion avoidance: grow by δ per round.
+			f.adder += f.delta
+			inc := int(f.adder)
+			f.cwnd += inc
+			f.adder -= float64(inc)
+		}
+		f.begSeq = a.SndNxt
+	}
+	// Per-ack operations.
+	if f.reduced && a.SndUna >= f.cwrSeq {
+		f.reduced = false
+	}
+	if a.ECNEcho > 0 {
+		f.reduce(a.SndNxt)
+		return
+	}
+	if !f.reduced && f.cwnd <= f.ssthresh {
+		f.cwnd += int(a.NewlyAcked) // slow start
+	}
+}
+
+func (f *FixedBeta) reduce(sndNxt int64) {
+	if f.reduced {
+		return
+	}
+	f.reduced = true
+	f.cwrSeq = sndNxt
+	if f.cwnd > f.ssthresh {
+		cut := f.cwnd / f.beta
+		if cut < 1 {
+			cut = 1
+		}
+		f.cwnd -= cut
+		if f.cwnd < 2 {
+			f.cwnd = 2
+		}
+	}
+	// Leave slow start without re-entering it.
+	f.ssthresh = f.cwnd - 1
+}
+
+// OnDupAck implements Controller.
+func (f *FixedBeta) OnDupAck(int) {}
+
+// OnFastRetransmit implements Controller: fall back to a multiplicative
+// cut on packet loss, as the kernel module does.
+func (f *FixedBeta) OnFastRetransmit() {
+	f.cwnd -= max(f.cwnd/f.beta, 1)
+	if f.cwnd < 2 {
+		f.cwnd = 2
+	}
+	f.ssthresh = f.cwnd - 1
+}
+
+// OnRetransmitTimeout implements Controller.
+func (f *FixedBeta) OnRetransmitTimeout() {
+	f.ssthresh = max(f.cwnd/2, 2)
+	f.cwnd = MinWindow
+	f.reduced = false
+}

@@ -1,0 +1,95 @@
+package cc
+
+// Reno is TCP-Reno congestion control with optional standard-ECN (RFC
+// 3168) reaction: slow start, AIMD congestion avoidance (+1 per RTT, halve
+// on loss or ECE), fast-retransmit window halving. It is the "TCP" used by
+// the paper's small flows and the Table 2 coexistence runs, and the base
+// behaviour LIA falls back to on a single path.
+type Reno struct {
+	cwnd     float64
+	ssthresh float64
+	ecn      bool
+	// reducedAt guards one reduction per window for ECE, mirroring the
+	// cwr_seq mechanism: no further cuts until snd_una passes it.
+	cwrSeq  int64
+	reduced bool
+	maxCwnd float64
+}
+
+// NewReno returns a Reno controller. If ecn is true the connection is
+// ECN-capable and halves on ECE in addition to loss.
+func NewReno(initialCwnd int, ecn bool) *Reno {
+	if initialCwnd < MinWindow {
+		initialCwnd = MinWindow
+	}
+	return &Reno{
+		cwnd:     float64(initialCwnd),
+		ssthresh: DefaultSsthresh,
+		ecn:      ecn,
+		maxCwnd:  DefaultSsthresh,
+	}
+}
+
+// Name implements Controller.
+func (r *Reno) Name() string {
+	if r.ecn {
+		return "reno-ecn"
+	}
+	return "reno"
+}
+
+// ECNCapable implements Controller.
+func (r *Reno) ECNCapable() bool { return r.ecn }
+
+// Window implements Controller.
+func (r *Reno) Window() int {
+	w := int(r.cwnd)
+	if w < MinWindow {
+		w = MinWindow
+	}
+	return w
+}
+
+// OnAck implements Controller.
+func (r *Reno) OnAck(a Ack) {
+	if r.reduced && a.SndUna >= r.cwrSeq {
+		r.reduced = false
+	}
+	if r.ecn && a.ECNEcho > 0 {
+		if !r.reduced {
+			r.halve()
+			r.reduced = true
+			r.cwrSeq = a.SndNxt
+		}
+		return
+	}
+	for i := int64(0); i < a.NewlyAcked; i++ {
+		if r.cwnd < r.ssthresh {
+			r.cwnd++ // slow start: +1 per ACKed segment
+		} else {
+			r.cwnd += 1 / r.cwnd // congestion avoidance: ~+1 per RTT
+		}
+		if r.cwnd > r.maxCwnd {
+			r.cwnd = r.maxCwnd
+		}
+	}
+}
+
+// OnDupAck implements Controller. Reno reacts at the third duplicate via
+// OnFastRetransmit; individual dupacks are ignored.
+func (r *Reno) OnDupAck(int) {}
+
+// OnFastRetransmit implements Controller.
+func (r *Reno) OnFastRetransmit() { r.halve() }
+
+// OnRetransmitTimeout implements Controller.
+func (r *Reno) OnRetransmitTimeout() {
+	r.ssthresh = max(r.cwnd/2, 2)
+	r.cwnd = MinWindow
+	r.reduced = false
+}
+
+func (r *Reno) halve() {
+	r.ssthresh = max(r.cwnd/2, 2)
+	r.cwnd = r.ssthresh
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+
+	"xmp/internal/sim"
+)
+
+// This file collects the closed-form results of Section 2 that the design
+// and the tests lean on. Rates are in packets (segments) per second and
+// RTTs in seconds, matching the paper's packet-granularity analysis.
+
+// MinMarkingThreshold returns the smallest marking threshold K (packets)
+// that keeps a link fully utilized under a 1/β window reduction, Equation
+// 1: K ≥ BDP/(β−1). bdpPackets is the path bandwidth-delay product in
+// packets.
+func MinMarkingThreshold(bdpPackets float64, beta int) int {
+	if beta < 2 {
+		panic("core: beta must be >= 2")
+	}
+	return int(math.Ceil(bdpPackets / float64(beta-1)))
+}
+
+// BDPPackets returns the bandwidth-delay product of a path in full-sized
+// packets of packetBytes.
+func BDPPackets(capacityBitsPerSec float64, rtt sim.Duration, packetBytes int) float64 {
+	return capacityBitsPerSec * rtt.Seconds() / (8 * float64(packetBytes))
+}
+
+// EquilibriumMarkProb returns BOS's equilibrium per-round marking
+// probability p̃ = 1/(1 + w̃/(δβ)) (Equation 3) for window w packets.
+func EquilibriumMarkProb(w, delta float64, beta int) float64 {
+	return 1 / (1 + w/(delta*float64(beta)))
+}
+
+// EquilibriumWindow inverts Equation 3: the window at which BOS's
+// per-round increase δ balances the expected 1/β reduction under marking
+// probability p.
+func EquilibriumWindow(p, delta float64, beta int) float64 {
+	if p <= 0 || p >= 1 {
+		panic("core: marking probability must be in (0,1)")
+	}
+	return delta * float64(beta) * (1 - p) / p
+}
+
+// Utility returns BOS's utility function (Equation 4),
+// U(x) = (δβ/T)·log(1 + T·x/(δβ)), for rate x packets/sec over a path
+// with round duration T.
+func Utility(x, delta float64, beta int, t sim.Duration) float64 {
+	db := delta * float64(beta)
+	ts := t.Seconds()
+	return db / ts * math.Log(1+ts*x/db)
+}
+
+// CongestionExtent returns U'(y) = 1/(1 + y·T/β) (Equation 7): the
+// expected congestion extent of the flow's virtual single path at total
+// rate y packets/sec with T = min-RTT seconds.
+func CongestionExtent(y float64, beta int, minRTT sim.Duration) float64 {
+	return 1 / (1 + y*minRTT.Seconds()/float64(beta))
+}
+
+// SubflowEquilibriumProb returns p̃_{s,r} = 1/(1 + x·T_r/(δ·β))
+// (Equation 8): subflow r's equilibrium marking probability at rate x
+// packets/sec, RTT T_r, increase parameter δ.
+func SubflowEquilibriumProb(x, delta float64, beta int, rtt sim.Duration) float64 {
+	return 1 / (1 + x*rtt.Seconds()/(delta*float64(beta)))
+}
+
+// Equation9Delta returns δ_r = (T_r·x_r)/(T_s·y_s) (Equation 9): the
+// fixed point of TraSh's parameter adjustment.
+func Equation9Delta(rttR sim.Duration, xR float64, minRTT sim.Duration, y float64) float64 {
+	if minRTT <= 0 || y <= 0 {
+		return 1
+	}
+	return rttR.Seconds() * xR / (minRTT.Seconds() * y)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"xmp/internal/cc"
+)
+
+// TraSh is the Traffic Shifting algorithm: it couples the subflows of one
+// MPTCP flow by recomputing each subflow's additive-increase parameter δ
+// once per round from the flow-wide state (Algorithm 1):
+//
+//	delta[r] = snd_cwnd[r] / (total_rate × min_rtt)
+//
+// which is Equation 9, δ_r = T_r·x_r / (T_s·y_s), expressed with
+// instantaneous rates x_r = cwnd_r/srtt_r. Proposition 1 shows this update
+// follows the Congestion Equality Principle: δ grows on subflows whose
+// congestion is below the flow's expected congestion extent and shrinks on
+// those above, shifting traffic toward less congested paths.
+type TraSh struct {
+	group *cc.FlowGroup
+
+	// deltaMin/deltaMax clamp δ for numerical robustness when rates are
+	// transiently zero (e.g. a sibling subflow in RTO); the paper's kernel
+	// module is similarly guarded by its integer arithmetic.
+	deltaMin, deltaMax float64
+}
+
+// NewTraSh returns the coupler for one flow's group.
+func NewTraSh(group *cc.FlowGroup) *TraSh {
+	if group == nil {
+		panic("core: TraSh requires a flow group")
+	}
+	return &TraSh{group: group, deltaMin: 1.0 / 64, deltaMax: 64}
+}
+
+// DeltaFor returns the DeltaFunc for the subflow owning member, to be
+// wired into that subflow's BOS instance. The member must belong to the
+// coupler's group.
+func (t *TraSh) DeltaFor(member *cc.Member) DeltaFunc {
+	found := false
+	for _, m := range t.group.Members() {
+		if m == member {
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic("core: member not in TraSh group")
+	}
+	return func() float64 {
+		return t.delta(member)
+	}
+}
+
+// delta evaluates Equation 9 for one subflow from the group snapshot.
+func (t *TraSh) delta(m *cc.Member) float64 {
+	if m.SRTT <= 0 || !m.Active {
+		return 1 // no measurement yet: start with the BOS default δ(0)=1
+	}
+	total := t.group.TotalRate() // Σ cwnd_r/srtt_r  (segments/second)
+	minRTT := t.group.MinSRTT()
+	if total <= 0 || minRTT <= 0 {
+		return 1
+	}
+	d := float64(m.Cwnd) / (total * minRTT.Seconds())
+	if d < t.deltaMin {
+		d = t.deltaMin
+	}
+	if d > t.deltaMax {
+		d = t.deltaMax
+	}
+	return d
+}
+
+// Subflow bundles the pieces of one XMP subflow: the BOS controller and
+// the group member it publishes through.
+type Subflow struct {
+	*BOS
+	Member *cc.Member
+}
+
+// XMP builds the controllers for an n-subflow XMP flow with the given β:
+// one shared cc.FlowGroup, one TraSh coupler, and n BOS instances whose δ
+// is driven by TraSh. The caller wires each Subflow's controller and
+// Member into its transport connection.
+func XMP(n, initialCwnd, beta int) []Subflow {
+	if n < 1 {
+		panic("core: XMP needs at least one subflow")
+	}
+	group := cc.NewFlowGroup()
+	trash := NewTraSh(group)
+	subs := make([]Subflow, n)
+	for i := range subs {
+		m := group.Join()
+		subs[i] = Subflow{
+			BOS:    NewBOS(initialCwnd, beta, trash.DeltaFor(m)),
+			Member: m,
+		}
+	}
+	return subs
+}

@@ -1,0 +1,82 @@
+// Package exp contains one runner per table and figure of the paper's
+// evaluation (Section 4 experiments and Section 5 simulations), plus the
+// ablations called out in DESIGN.md. Each runner takes a Config whose
+// defaults reproduce the paper's setup at a reduced scale (flow sizes and
+// durations divided down; see EXPERIMENTS.md), returns a typed Result, and
+// can render itself as the text rows/series the paper reports.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmp/internal/mptcp"
+	"xmp/internal/workload"
+)
+
+// Scale adjusts experiment magnitude. 1.0 is the default reduced scale;
+// Full multiplies sizes and durations back up to the paper's (slow!).
+type Scale struct {
+	// Time multiplies run durations and event schedules.
+	Time float64
+	// Size multiplies flow sizes.
+	Size float64
+}
+
+// DefaultScale is the CI-friendly reduced scale.
+var DefaultScale = Scale{Time: 1, Size: 1}
+
+// FullScale reproduces the paper's magnitudes (hours of wall clock).
+var FullScale = Scale{Time: 10, Size: 64}
+
+// Schemes of the fat-tree evaluation, in the paper's table order.
+var (
+	SchemeDCTCP = workload.Scheme{Algorithm: mptcp.AlgDCTCP, Subflows: 1}
+	SchemeLIA2  = workload.Scheme{Algorithm: mptcp.AlgLIA, Subflows: 2}
+	SchemeLIA4  = workload.Scheme{Algorithm: mptcp.AlgLIA, Subflows: 4}
+	SchemeXMP2  = workload.Scheme{Algorithm: mptcp.AlgXMP, Subflows: 2}
+	SchemeXMP4  = workload.Scheme{Algorithm: mptcp.AlgXMP, Subflows: 4}
+	SchemeTCP   = workload.Scheme{Algorithm: mptcp.AlgReno, Subflows: 1}
+	SchemeOLIA2 = workload.Scheme{Algorithm: mptcp.AlgOLIA, Subflows: 2}
+)
+
+// Table1Schemes is the scheme column of Tables 1 and 3.
+var Table1Schemes = []workload.Scheme{SchemeDCTCP, SchemeLIA2, SchemeLIA4, SchemeXMP2, SchemeXMP4}
+
+// table renders fixed-width rows.
+type table struct {
+	w      io.Writer
+	widths []int
+}
+
+func newTable(w io.Writer, widths ...int) *table { return &table{w: w, widths: widths} }
+
+func (t *table) row(cells ...string) {
+	var b strings.Builder
+	for i, c := range cells {
+		width := 12
+		if i < len(t.widths) {
+			width = t.widths[i]
+		}
+		fmt.Fprintf(&b, "%-*s", width, c)
+	}
+	fmt.Fprintln(t.w, strings.TrimRight(b.String(), " "))
+}
+
+func (t *table) rule() {
+	n := 0
+	for _, w := range t.widths {
+		n += w
+	}
+	fmt.Fprintln(t.w, strings.Repeat("-", n))
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"xmp/internal/sim"
+	"xmp/internal/workload"
+)
+
+func TestMatrixWriteJSON(t *testing.T) {
+	base := FatTreeConfig{K: 4, Duration: 30 * sim.Millisecond, SizeScale: 256}
+	m := RunMatrix(base, []Pattern{Permutation}, []workload.Scheme{SchemeXMP2}, nil)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Cells []CellJSON `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Cells) != 1 {
+		t.Fatalf("cells %d", len(decoded.Cells))
+	}
+	c := decoded.Cells[0]
+	if c.Scheme != "XMP-2" || c.Pattern != "Permutation" {
+		t.Fatalf("cell identity %+v", c)
+	}
+	if c.Flows == 0 || c.GoodputMbps.N == 0 || c.GoodputMbps.Mean <= 0 {
+		t.Fatalf("empty stats %+v", c)
+	}
+	if len(c.GoodputMbps.CDFX) == 0 || len(c.GoodputMbps.CDFX) != len(c.GoodputMbps.CDFY) {
+		t.Fatal("missing CDF points")
+	}
+	if _, ok := c.UtilByLayer["core"]; !ok {
+		t.Fatal("missing core layer utilization")
+	}
+	if _, ok := c.RTTMsByCat["Inter-Pod"]; !ok {
+		t.Fatal("missing inter-pod RTT")
+	}
+}
+
+func TestTable2WriteJSON(t *testing.T) {
+	r := RunTable2(Table2Config{
+		KAry:        4,
+		Duration:    30 * sim.Millisecond,
+		SizeScale:   256,
+		QueueLimits: []int{100},
+		Others:      []workload.Scheme{SchemeTCP},
+	}, nil)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) || !strings.Contains(buf.String(), "xmp_goodput_mbps") {
+		t.Fatalf("bad JSON: %s", buf.String())
+	}
+}
+
+func TestFig7SeriesJSON(t *testing.T) {
+	r := RunFig7(Fig7Config{Setting: Fig7BetaK{4, 20}, Unit: 100 * sim.Millisecond})
+	series := r.SeriesJSON()
+	if len(series) != 10 {
+		t.Fatalf("series %d, want 10", len(series))
+	}
+	if series[0].Name != "flow1-1" || series[9].Name != "flow5-2" {
+		t.Fatalf("names: %s .. %s", series[0].Name, series[9].Name)
+	}
+	for _, s := range series {
+		if s.BinSeconds <= 0 || len(s.Normalized) == 0 {
+			t.Fatalf("empty series %+v", s.Name)
+		}
+		for _, v := range s.Normalized {
+			if v < 0 || v > 1.5 {
+				t.Fatalf("%s: normalized rate %v out of range", s.Name, v)
+			}
+		}
+	}
+	if b, err := json.Marshal(series); err != nil || !json.Valid(b) {
+		t.Fatal("series not serializable")
+	}
+}

@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/transport"
+	"xmp/internal/workload"
+)
+
+// This file holds the exploration harnesses beyond the paper's figures:
+// the (β, K) sensitivity grid its future-work section calls for, an
+// Incast fan-in stress sweep, and the SACK transport ablation.
+
+// ParamPoint is one (β, K) cell of the sensitivity grid.
+type ParamPoint struct {
+	Beta, K int
+	// GoodputMbps is the Random-pattern average large-flow goodput.
+	GoodputMbps float64
+	// RTTMs is the mean inter-pod RTT — the latency side of the tradeoff.
+	RTTMs float64
+	Drops int64
+	Flows int
+}
+
+// RunParamSweep measures XMP-2 on the Random pattern across a (β, K)
+// grid. The paper fixes (β=4, K=10) for 1 Gbps DCNs and defers the
+// parameter-impact study to future work; this harness is that study.
+func RunParamSweep(betas, ks []int, duration sim.Duration, progress io.Writer) []ParamPoint {
+	if len(betas) == 0 {
+		betas = []int{2, 3, 4, 5, 6}
+	}
+	if len(ks) == 0 {
+		ks = []int{5, 10, 20, 40}
+	}
+	if duration == 0 {
+		duration = 100 * sim.Millisecond
+	}
+	var out []ParamPoint
+	for _, beta := range betas {
+		for _, k := range ks {
+			scheme := SchemeXMP2
+			scheme.Beta = beta
+			r := RunFatTree(FatTreeConfig{
+				Pattern:       Random,
+				Scheme:        scheme,
+				MarkThreshold: k,
+				Duration:      duration,
+			})
+			p := ParamPoint{
+				Beta:        beta,
+				K:           k,
+				GoodputMbps: r.Collector.Goodput.Mean(),
+				RTTMs:       r.Collector.RTT[topo.InterPod].Mean(),
+				Drops:       r.Drops,
+				Flows:       r.Collector.FlowsCompleted,
+			}
+			out = append(out, p)
+			if progress != nil {
+				fmt.Fprintf(progress, "param beta=%d K=%-3d goodput=%6.1f Mbps rtt=%5.2f ms drops=%d\n",
+					beta, k, p.GoodputMbps, p.RTTMs, p.Drops)
+			}
+		}
+	}
+	return out
+}
+
+// RenderParamSweep prints the grid with goodput and RTT per cell.
+func RenderParamSweep(w io.Writer, pts []ParamPoint) {
+	fmt.Fprintln(w, "Parameter sensitivity: XMP-2, Random pattern (goodput Mbps / inter-pod RTT ms)")
+	// Collect axes.
+	var betas, ks []int
+	seenB, seenK := map[int]bool{}, map[int]bool{}
+	for _, p := range pts {
+		if !seenB[p.Beta] {
+			seenB[p.Beta] = true
+			betas = append(betas, p.Beta)
+		}
+		if !seenK[p.K] {
+			seenK[p.K] = true
+			ks = append(ks, p.K)
+		}
+	}
+	widths := []int{8}
+	header := []string{"beta\\K"}
+	for _, k := range ks {
+		widths = append(widths, 16)
+		header = append(header, fmt.Sprintf("K=%d", k))
+	}
+	tb := newTable(w, widths...)
+	tb.row(header...)
+	tb.rule()
+	for _, b := range betas {
+		cells := []string{fmt.Sprintf("%d", b)}
+		for _, k := range ks {
+			found := false
+			for _, p := range pts {
+				if p.Beta == b && p.K == k {
+					cells = append(cells, fmt.Sprintf("%.0f / %.2f", p.GoodputMbps, p.RTTMs))
+					found = true
+					break
+				}
+			}
+			if !found {
+				cells = append(cells, "-")
+			}
+		}
+		tb.row(cells...)
+	}
+}
+
+// IncastSweepPoint is one fan-in setting's outcome.
+type IncastSweepPoint struct {
+	Servers   int
+	JobsDone  int
+	P50Ms     float64
+	P99Ms     float64
+	Above300  float64
+	BGGoodput float64
+}
+
+// RunIncastSweep stresses the Incast pattern with growing fan-in (the
+// response burst per job) under an XMP-2 background — the regime where
+// the paper argues free buffer headroom absorbs burstiness.
+func RunIncastSweep(servers []int, duration sim.Duration, progress io.Writer) []IncastSweepPoint {
+	if len(servers) == 0 {
+		servers = []int{4, 8, 16, 32}
+	}
+	if duration == 0 {
+		duration = 200 * sim.Millisecond
+	}
+	var out []IncastSweepPoint
+	for _, n := range servers {
+		eng := sim.NewEngine()
+		ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
+		col := workload.NewCollector(16)
+		base := workload.Config{
+			Net:       ft,
+			RNG:       sim.NewRNG(1),
+			Scheme:    SchemeXMP2,
+			Transport: transport.DefaultConfig(),
+			Collector: col,
+			Stop:      sim.Time(duration),
+		}
+		workload.StartIncast(workload.IncastConfig{
+			Config:     base,
+			Servers:    n,
+			Background: true,
+			BackgroundConfig: workload.RandomConfig{
+				Config:          base,
+				ParetoMeanBytes: 12 << 20,
+				ParetoMaxBytes:  48 << 20,
+			},
+		})
+		eng.RunAll(4_000_000_000)
+		p := IncastSweepPoint{
+			Servers:   n,
+			JobsDone:  col.JCT.N(),
+			P50Ms:     col.JCT.Percentile(50),
+			P99Ms:     col.JCT.Percentile(99),
+			Above300:  col.JCT.FractionAbove(300),
+			BGGoodput: col.Goodput.Mean(),
+		}
+		out = append(out, p)
+		if progress != nil {
+			fmt.Fprintf(progress, "incast fan-in=%-3d jobs=%-4d p50=%6.1fms p99=%6.1fms >300ms=%.1f%%\n",
+				n, p.JobsDone, p.P50Ms, p.P99Ms, 100*p.Above300)
+		}
+	}
+	return out
+}
+
+// RenderIncastSweep prints the fan-in table.
+func RenderIncastSweep(w io.Writer, pts []IncastSweepPoint) {
+	fmt.Fprintln(w, "Incast fan-in sweep: XMP-2 background, 2KB requests / 64KB responses")
+	tb := newTable(w, 10, 8, 12, 12, 10, 14)
+	tb.row("servers", "jobs", "jct p50", "jct p99", ">300ms", "bg Mbps")
+	tb.rule()
+	for _, p := range pts {
+		tb.row(fmt.Sprintf("%d", p.Servers), fmt.Sprintf("%d", p.JobsDone),
+			f1(p.P50Ms), f1(p.P99Ms), pct(p.Above300), f1(p.BGGoodput))
+	}
+}
+
+// SACKAblationResult contrasts a loss-based scheme with and without
+// selective acknowledgments on the Random pattern.
+type SACKAblationResult struct {
+	Scheme       string
+	PlainGoodput float64
+	SACKGoodput  float64
+	PlainRTOs    bool
+}
+
+// RunSACKAblation measures what RFC 2018-style SACK buys the loss-based
+// baselines — part of explaining the residual gap between this
+// simulator's NewReno recovery and the paper's Linux stack.
+func RunSACKAblation(duration sim.Duration, progress io.Writer, schemes ...workload.Scheme) []SACKAblationResult {
+	if duration == 0 {
+		duration = 100 * sim.Millisecond
+	}
+	if len(schemes) == 0 {
+		schemes = []workload.Scheme{SchemeTCP, SchemeLIA2, SchemeLIA4}
+	}
+	var out []SACKAblationResult
+	for _, scheme := range schemes {
+		run := func(sack bool) float64 {
+			eng := sim.NewEngine()
+			ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
+			col := workload.NewCollector(16)
+			tc := transport.DefaultConfig()
+			tc.EnableSACK = sack
+			workload.StartRandom(workload.RandomConfig{
+				Config: workload.Config{
+					Net:       ft,
+					RNG:       sim.NewRNG(1),
+					Scheme:    scheme,
+					Transport: tc,
+					Collector: col,
+					Stop:      sim.Time(duration),
+				},
+				ParetoMeanBytes: 12 << 20,
+				ParetoMaxBytes:  48 << 20,
+				MaxFlowsPerDst:  4,
+			})
+			eng.RunAll(4_000_000_000)
+			return col.Goodput.Mean()
+		}
+		r := SACKAblationResult{
+			Scheme:       scheme.Label(),
+			PlainGoodput: run(false),
+			SACKGoodput:  run(true),
+		}
+		out = append(out, r)
+		if progress != nil {
+			fmt.Fprintf(progress, "sack ablation %-6s plain=%6.1f sack=%6.1f Mbps\n",
+				r.Scheme, r.PlainGoodput, r.SACKGoodput)
+		}
+	}
+	return out
+}
+
+// RenderSACKAblation prints the comparison.
+func RenderSACKAblation(w io.Writer, rs []SACKAblationResult) {
+	fmt.Fprintln(w, "SACK ablation: Random pattern goodput (Mbps), loss-based schemes")
+	tb := newTable(w, 10, 14, 14, 10)
+	tb.row("scheme", "NewReno", "with SACK", "gain")
+	tb.rule()
+	for _, r := range rs {
+		gain := "-"
+		if r.PlainGoodput > 0 {
+			gain = fmt.Sprintf("%+.0f%%", 100*(r.SACKGoodput-r.PlainGoodput)/r.PlainGoodput)
+		}
+		tb.row(r.Scheme, f1(r.PlainGoodput), f1(r.SACKGoodput), gain)
+	}
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/transport"
+	"xmp/internal/workload"
+)
+
+// Table2Config parameterizes the coexistence experiment: the Random
+// pattern with half the hosts running XMP-2 and the other half one of
+// {LIA-2, TCP, DCTCP}, under queue sizes 50 and 100.
+type Table2Config struct {
+	// K is the marking threshold (paper: 10).
+	K int
+	// QueueLimits are the switch buffer sizes swept (paper: 50, 100).
+	QueueLimits []int
+	// Others are the schemes sharing the fabric with XMP-2.
+	Others []workload.Scheme
+	// StrictNonECT selects RED-faithful switches that drop non-ECT
+	// packets above K instead of letting loss-based flows fill the whole
+	// buffer. The paper's DummyNet/RED deployment behaves this way; the
+	// XMP-vs-LIA/TCP split flips with it (see EXPERIMENTS.md).
+	StrictNonECT bool
+	// Duration, SizeScale, Seed as in FatTreeConfig.
+	Duration  sim.Duration
+	SizeScale int64
+	Seed      int64
+	KAry      int
+}
+
+func (c *Table2Config) defaults() {
+	if c.K == 0 {
+		c.K = 10
+	}
+	if len(c.QueueLimits) == 0 {
+		c.QueueLimits = []int{50, 100}
+	}
+	if len(c.Others) == 0 {
+		c.Others = []workload.Scheme{SchemeLIA2, SchemeTCP, SchemeDCTCP}
+	}
+	if c.Duration == 0 {
+		c.Duration = 200 * sim.Millisecond
+	}
+	if c.SizeScale == 0 {
+		c.SizeScale = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.KAry == 0 {
+		c.KAry = 8
+	}
+}
+
+// Table2Cell is one pairing's outcome.
+type Table2Cell struct {
+	Other      workload.Scheme
+	QueueLimit int
+	// XMPGoodput / OtherGoodput are the average per-flow goodputs (Mbps).
+	XMPGoodput, OtherGoodput float64
+	XMPFlows, OtherFlows     int
+}
+
+// Table2Result is the full coexistence sweep.
+type Table2Result struct {
+	Config Table2Config
+	Cells  []Table2Cell
+}
+
+// RunTable2 executes the sweep: one fat-tree run per (other scheme,
+// queue limit), with even-indexed hosts sourcing XMP-2 flows and
+// odd-indexed hosts sourcing the other scheme's.
+func RunTable2(cfg Table2Config, progress io.Writer) *Table2Result {
+	cfg.defaults()
+	res := &Table2Result{Config: cfg}
+	for _, limit := range cfg.QueueLimits {
+		for _, other := range cfg.Others {
+			cell := runCoexist(cfg, other, limit)
+			res.Cells = append(res.Cells, cell)
+			if progress != nil {
+				fmt.Fprintf(progress, "coexist q=%-4d XMP:%-6s  %7.1f : %-7.1f Mbps (%d/%d flows)\n",
+					limit, other.Label(), cell.XMPGoodput, cell.OtherGoodput, cell.XMPFlows, cell.OtherFlows)
+			}
+		}
+	}
+	return res
+}
+
+func runCoexist(cfg Table2Config, other workload.Scheme, queueLimit int) Table2Cell {
+	eng := sim.NewEngine()
+	qm := topo.ECNMaker(queueLimit, cfg.K)
+	if cfg.StrictNonECT {
+		qm = topo.ECNStrictMaker(queueLimit, cfg.K)
+	}
+	ftCfg := topo.DefaultFatTreeConfig(qm)
+	ftCfg.K = cfg.KAry
+	ft := topo.NewFatTree(eng, ftCfg)
+	rng := sim.NewRNG(cfg.Seed)
+
+	var xmpHosts, otherHosts []int
+	for i := 0; i < ft.NumHosts(); i++ {
+		if i%2 == 0 {
+			xmpHosts = append(xmpHosts, i)
+		} else {
+			otherHosts = append(otherHosts, i)
+		}
+	}
+
+	mkRandom := func(scheme workload.Scheme, hosts []int, col *workload.Collector, rng *sim.RNG) workload.RandomConfig {
+		return workload.RandomConfig{
+			Config: workload.Config{
+				Net:       ft,
+				RNG:       rng,
+				Scheme:    scheme,
+				Transport: transport.DefaultConfig(),
+				Collector: col,
+				Stop:      sim.Time(cfg.Duration),
+			},
+			ParetoMeanBytes: 192 << 20 / cfg.SizeScale,
+			ParetoMaxBytes:  768 << 20 / cfg.SizeScale,
+			MaxFlowsPerDst:  4,
+			Hosts:           hosts,
+		}
+	}
+	colX := workload.NewCollector(16)
+	colO := workload.NewCollector(16)
+	workload.StartRandom(mkRandom(SchemeXMP2, xmpHosts, colX, rng.Fork(1)))
+	workload.StartRandom(mkRandom(other, otherHosts, colO, rng.Fork(2)))
+	eng.RunAll(4_000_000_000)
+	ft.CheckRoutingSanity()
+
+	return Table2Cell{
+		Other:        other,
+		QueueLimit:   queueLimit,
+		XMPGoodput:   colX.Goodput.Mean(),
+		OtherGoodput: colO.Goodput.Mean(),
+		XMPFlows:     colX.FlowsCompleted,
+		OtherFlows:   colO.FlowsCompleted,
+	}
+}
+
+// Render prints the paper's Table 2 layout.
+func (r *Table2Result) Render(w io.Writer) {
+	variant := "non-ECT uses full buffer"
+	if r.Config.StrictNonECT {
+		variant = "RED-strict: non-ECT dropped above K"
+	}
+	fmt.Fprintf(w, "Table 2: Average Goodput (Mbps), Random pattern, XMP-2 coexisting (%s)\n", variant)
+	tb := newTable(w, 16, 18, 18)
+	header := []string{"pairing"}
+	for _, q := range r.Config.QueueLimits {
+		header = append(header, fmt.Sprintf("queue %d pkts", q))
+	}
+	tb.row(header...)
+	tb.rule()
+	for _, other := range r.Config.Others {
+		cells := []string{"XMP : " + other.Label()}
+		for _, q := range r.Config.QueueLimits {
+			for _, c := range r.Cells {
+				if c.Other.Label() == other.Label() && c.QueueLimit == q {
+					cells = append(cells, fmt.Sprintf("%s : %s", f1(c.XMPGoodput), f1(c.OtherGoodput)))
+				}
+			}
+		}
+		tb.row(cells...)
+	}
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/transport"
+	"xmp/internal/workload"
+)
+
+// VL2Point is one scheme's outcome on the VL2 fabric.
+type VL2Point struct {
+	Scheme      string
+	GoodputMbps float64
+	RTTMs       float64
+	Flows       int
+	Drops       int64
+}
+
+// RunVL2Comparison runs the Random pattern over a VL2 Clos (the other
+// multi-rooted architecture the paper cites) for each Table 1 scheme —
+// the generalization experiment showing XMP's behaviour is not an
+// artifact of the Fat-Tree.
+func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, progress io.Writer) []VL2Point {
+	if len(schemes) == 0 {
+		schemes = Table1Schemes
+	}
+	if duration == 0 {
+		duration = 100 * sim.Millisecond
+	}
+	var out []VL2Point
+	for _, s := range schemes {
+		eng := sim.NewEngine()
+		v := topo.NewVL2(eng, topo.DefaultVL2Config(topo.ECNMaker(100, 10)))
+		col := workload.NewCollector(8)
+		workload.StartRandom(workload.RandomConfig{
+			Config: workload.Config{
+				Net:       v,
+				RNG:       sim.NewRNG(1),
+				Scheme:    s,
+				Transport: transport.DefaultConfig(),
+				Collector: col,
+				Stop:      sim.Time(duration),
+			},
+			ParetoMeanBytes: 12 << 20,
+			ParetoMaxBytes:  48 << 20,
+			MaxFlowsPerDst:  4,
+		})
+		eng.RunAll(4_000_000_000)
+		v.CheckRoutingSanity()
+		var drops int64
+		for _, li := range v.Links() {
+			drops += li.Queue().Stats().DroppedPackets
+		}
+		p := VL2Point{
+			Scheme:      s.Label(),
+			GoodputMbps: col.Goodput.Mean(),
+			RTTMs:       col.RTT[topo.InterPod].Mean(),
+			Flows:       col.FlowsCompleted,
+			Drops:       drops,
+		}
+		out = append(out, p)
+		if progress != nil {
+			fmt.Fprintf(progress, "vl2 %-6s goodput=%6.1f Mbps rtt=%5.2f ms flows=%d\n",
+				p.Scheme, p.GoodputMbps, p.RTTMs, p.Flows)
+		}
+	}
+	return out
+}
+
+// RenderVL2 prints the comparison.
+func RenderVL2(w io.Writer, pts []VL2Point) {
+	fmt.Fprintln(w, "VL2 Clos (32 servers): Random-pattern goodput by scheme")
+	tb := newTable(w, 10, 16, 12, 8, 10)
+	tb.row("scheme", "goodput(Mbps)", "rtt(ms)", "flows", "drops")
+	tb.rule()
+	for _, p := range pts {
+		tb.row(p.Scheme, f1(p.GoodputMbps), f2(p.RTTMs), fmt.Sprintf("%d", p.Flows), fmt.Sprintf("%d", p.Drops))
+	}
+}

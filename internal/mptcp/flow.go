@@ -1,0 +1,333 @@
+// Package mptcp assembles multipath flows: N transport connections
+// (subflows) over distinct paths draining one shared data supply, coupled
+// by a multipath congestion-control algorithm — XMP (the paper's scheme,
+// from internal/core), LIA (RFC 6356, MPTCP's default and the paper's
+// main baseline), OLIA, or deliberately uncoupled subflows for ablations.
+//
+// Single-path schemes (DCTCP, TCP-Reno with or without ECN) are exposed as
+// one-subflow flows so workload generators can treat every transfer
+// uniformly.
+package mptcp
+
+import (
+	"fmt"
+
+	"xmp/internal/cc"
+	"xmp/internal/core"
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+	"xmp/internal/transport"
+)
+
+// Algorithm selects the congestion-control scheme of a flow.
+type Algorithm int
+
+// Supported schemes. The trailing paper names: XMP-x and LIA-y are the
+// multipath schemes of Tables 1–3; DCTCP and TCP are the single-path
+// baselines.
+const (
+	AlgXMP Algorithm = iota
+	AlgLIA
+	AlgOLIA
+	// AlgUncoupledBOS runs BOS with a fixed δ=1 on every subflow — no
+	// TraSh coupling. Ablation for the fairness experiments.
+	AlgUncoupledBOS
+	AlgDCTCP
+	AlgRenoECN
+	AlgReno
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgXMP:
+		return "XMP"
+	case AlgLIA:
+		return "LIA"
+	case AlgOLIA:
+		return "OLIA"
+	case AlgUncoupledBOS:
+		return "BOS-uncoupled"
+	case AlgDCTCP:
+		return "DCTCP"
+	case AlgRenoECN:
+		return "TCP-ECN"
+	case AlgReno:
+		return "TCP"
+	default:
+		return "unknown"
+	}
+}
+
+// Multipath reports whether the algorithm supports more than one subflow.
+func (a Algorithm) Multipath() bool {
+	switch a {
+	case AlgXMP, AlgLIA, AlgOLIA, AlgUncoupledBOS:
+		return true
+	default:
+		return false
+	}
+}
+
+// EchoMode returns the receiver feedback mode the algorithm requires.
+func (a Algorithm) EchoMode() cc.EchoMode {
+	switch a {
+	case AlgXMP, AlgUncoupledBOS:
+		return cc.EchoCounter
+	case AlgDCTCP:
+		return cc.EchoDCTCP
+	case AlgRenoECN:
+		return cc.EchoStandard
+	default:
+		return cc.EchoNone
+	}
+}
+
+// SubflowSpec describes one subflow's addressing and start offset.
+type SubflowSpec struct {
+	// SrcAddr/DstAddr select the path (0 = host primary address).
+	SrcAddr, DstAddr netem.Addr
+	// StartOffset delays the subflow's handshake relative to Flow.Start
+	// (Figure 6 staggers subflow establishment).
+	StartOffset sim.Duration
+}
+
+// Options configures a Flow.
+type Options struct {
+	Name     string
+	Src, Dst *netem.Host
+	Subflows []SubflowSpec
+	// TotalBytes is the transfer size; negative means unbounded (the
+	// long-running rate experiments).
+	TotalBytes int64
+	Algorithm  Algorithm
+	// Beta is the XMP/BOS window-reduction divisor (default core.DefaultBeta).
+	Beta int
+	// InitialCwnd per subflow in segments (default cc.DefaultInitialWindow).
+	InitialCwnd int
+	// Transport carries timer and delayed-ACK settings; its EchoMode is
+	// overridden to match the algorithm.
+	Transport transport.Config
+	// NextConnID allocates connection IDs (shared across the experiment).
+	NextConnID func() netem.ConnID
+	// OnComplete fires when every subflow has delivered its share.
+	OnComplete func(*Flow)
+	// OnProgress fires whenever subflow i newly acknowledges data (rate
+	// plots).
+	OnProgress func(subflow int, now sim.Time, ackedBytes int)
+	// OnRTTSample fires for every RTT measurement on subflow i (the
+	// Figure 10 distributions).
+	OnRTTSample func(subflow int, rtt sim.Duration)
+}
+
+// Flow is one (possibly multipath) data transfer.
+type Flow struct {
+	name      string
+	eng       *sim.Engine
+	alg       Algorithm
+	group     *cc.FlowGroup
+	conns     []*transport.Conn
+	offsets   []sim.Duration
+	remaining int64
+	infinite  bool
+
+	started   bool
+	startAt   sim.Time
+	doneAt    sim.Time
+	completed int
+	done      bool
+
+	onComplete func(*Flow)
+}
+
+// New builds a flow and its subflow connections (idle until Start).
+func New(eng *sim.Engine, opts Options) *Flow {
+	if len(opts.Subflows) == 0 {
+		panic("mptcp: flow needs at least one subflow")
+	}
+	if !opts.Algorithm.Multipath() && len(opts.Subflows) != 1 {
+		panic(fmt.Sprintf("mptcp: %v supports exactly one subflow", opts.Algorithm))
+	}
+	if opts.NextConnID == nil {
+		panic("mptcp: NextConnID allocator required")
+	}
+	if opts.TotalBytes == 0 {
+		panic("mptcp: TotalBytes must be positive or negative (unbounded)")
+	}
+	beta := opts.Beta
+	if beta == 0 {
+		beta = core.DefaultBeta
+	}
+	icw := opts.InitialCwnd
+	if icw == 0 {
+		icw = cc.DefaultInitialWindow
+	}
+
+	f := &Flow{
+		name:       opts.Name,
+		eng:        eng,
+		alg:        opts.Algorithm,
+		group:      cc.NewFlowGroup(),
+		remaining:  opts.TotalBytes,
+		infinite:   opts.TotalBytes < 0,
+		onComplete: opts.OnComplete,
+	}
+
+	tc := opts.Transport
+	tc.EchoMode = opts.Algorithm.EchoMode()
+
+	var trash *core.TraSh
+	if opts.Algorithm == AlgXMP {
+		trash = core.NewTraSh(f.group)
+	}
+
+	for i, spec := range opts.Subflows {
+		member := f.group.Join()
+		var ctrl cc.Controller
+		switch opts.Algorithm {
+		case AlgXMP:
+			ctrl = core.NewBOS(icw, beta, trash.DeltaFor(member))
+		case AlgUncoupledBOS:
+			ctrl = core.NewBOS(icw, beta, nil)
+		case AlgLIA:
+			ctrl = NewLIA(icw, f.group, member)
+		case AlgOLIA:
+			ctrl = NewOLIA(icw, f.group, member)
+		case AlgDCTCP:
+			ctrl = cc.NewDCTCP(icw, cc.DefaultG)
+		case AlgRenoECN:
+			ctrl = cc.NewReno(icw, true)
+		case AlgReno:
+			ctrl = cc.NewReno(icw, false)
+		default:
+			panic("mptcp: unknown algorithm")
+		}
+		idx := i
+		topts := transport.Options{
+			ID:         opts.NextConnID(),
+			Src:        opts.Src,
+			Dst:        opts.Dst,
+			SrcAddr:    spec.SrcAddr,
+			DstAddr:    spec.DstAddr,
+			Controller: ctrl,
+			Config:     tc,
+			Supply:     f,
+			Member:     member,
+			OnComplete: func(*transport.Conn) { f.subflowDone() },
+		}
+		if opts.OnProgress != nil {
+			cb := opts.OnProgress
+			topts.OnProgress = func(now sim.Time, bytes int) { cb(idx, now, bytes) }
+		}
+		if opts.OnRTTSample != nil {
+			cb := opts.OnRTTSample
+			topts.OnRTTSample = func(rtt sim.Duration) { cb(idx, rtt) }
+		}
+		conn := transport.NewConn(eng, topts)
+		f.conns = append(f.conns, conn)
+		f.offsets = append(f.offsets, opts.Subflows[i].StartOffset)
+	}
+	return f
+}
+
+// Next implements transport.Supply: subflows pull segments on demand from
+// the flow's shared remainder, which is how traffic apportions itself to
+// window sizes across paths.
+func (f *Flow) Next() (int, bool) {
+	if f.infinite {
+		return netem.MSS, true
+	}
+	if f.remaining <= 0 {
+		return 0, false
+	}
+	n := int64(netem.MSS)
+	if f.remaining < n {
+		n = f.remaining
+	}
+	f.remaining -= n
+	return int(n), true
+}
+
+// Start launches every subflow at its configured StartOffset from now.
+func (f *Flow) Start() {
+	if f.started {
+		panic("mptcp: flow already started")
+	}
+	f.started = true
+	f.startAt = f.eng.Now()
+	for i, c := range f.conns {
+		c := c
+		if off := f.offsets[i]; off > 0 {
+			f.eng.Schedule(off, func() { c.Start() })
+		} else {
+			c.Start()
+		}
+	}
+}
+
+// StopSending cuts every subflow off from the supply; the flow completes
+// once outstanding data is acknowledged. Used by the rate experiments
+// that stop long-lived flows on a schedule.
+func (f *Flow) StopSending() {
+	f.remaining = 0
+	f.infinite = false
+	for _, c := range f.conns {
+		c.StopSending()
+	}
+}
+
+func (f *Flow) subflowDone() {
+	f.completed++
+	if f.completed == len(f.conns) && !f.done {
+		f.done = true
+		f.doneAt = f.eng.Now()
+		if f.onComplete != nil {
+			f.onComplete(f)
+		}
+	}
+}
+
+// Name returns the flow's label.
+func (f *Flow) Name() string { return f.name }
+
+// Algorithm returns the flow's scheme.
+func (f *Flow) Algorithm() Algorithm { return f.alg }
+
+// Subflows returns the subflow connections.
+func (f *Flow) Subflows() []*transport.Conn { return f.conns }
+
+// Group returns the coupling group (for probes).
+func (f *Flow) Group() *cc.FlowGroup { return f.group }
+
+// Done reports whether all subflows completed.
+func (f *Flow) Done() bool { return f.done }
+
+// StartTime returns when Start was called.
+func (f *Flow) StartTime() sim.Time { return f.startAt }
+
+// CompletionTime returns when the last subflow finished.
+func (f *Flow) CompletionTime() sim.Time { return f.doneAt }
+
+// AckedBytes sums acknowledged application bytes across subflows.
+func (f *Flow) AckedBytes() int64 {
+	var total int64
+	for _, c := range f.conns {
+		total += c.AckedBytes()
+	}
+	return total
+}
+
+// GoodputBps returns the average transfer rate over the flow's lifetime in
+// bits per second (the paper's "Goodput" metric), measured to completion
+// or to now for running flows.
+func (f *Flow) GoodputBps(now sim.Time) float64 {
+	end := now
+	if f.done {
+		end = f.doneAt
+	}
+	dur := end.Sub(f.startAt)
+	if dur <= 0 {
+		return 0
+	}
+	return float64(f.AckedBytes()*8) / dur.Seconds()
+}

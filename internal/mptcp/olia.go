@@ -1,0 +1,205 @@
+package mptcp
+
+import (
+	"xmp/internal/cc"
+)
+
+// OLIA is the Opportunistic Linked-Increases Algorithm (Khalili et al.,
+// CoNEXT 2012), the non-Pareto-optimality fix for LIA that the paper's
+// future-work section points at. Implemented here as the extension
+// baseline. Per ACKed segment on path r in congestion avoidance:
+//
+//	w_r += w_r/rtt_r² / ( Σ_k w_k/rtt_k )²  +  α_r/w_r
+//
+// where α_r redistributes a unit of aggressiveness from the set of
+// maximum-window paths B toward the "best" paths M (highest
+// l_r²/rtt_r, with l_r the bytes sent between the last two losses):
+//
+//	α_r =  1/(|M\B|·N)  if r ∈ M\B and M\B ≠ ∅
+//	α_r = -1/(|B|·N)    if r ∈ B and M\B ≠ ∅
+//	α_r =  0            otherwise.
+type OLIA struct {
+	cwnd     float64
+	ssthresh float64
+	group    *cc.FlowGroup
+	member   *cc.Member
+
+	// Inter-loss volume tracking for l_r (in segments).
+	sinceLastLoss float64 // segments acked since the most recent loss
+	lastInterLoss float64 // segments between the previous two losses
+}
+
+// oliaState is published per member so siblings can evaluate the M and B
+// sets; keyed by member pointer in the shared registry below.
+type oliaState struct {
+	ctrl *OLIA
+}
+
+// NewOLIA returns the controller for one subflow of an OLIA flow.
+func NewOLIA(initialCwnd int, group *cc.FlowGroup, member *cc.Member) *OLIA {
+	if group == nil || member == nil {
+		panic("mptcp: OLIA requires a group and a member")
+	}
+	if initialCwnd < cc.MinWindow {
+		initialCwnd = cc.MinWindow
+	}
+	o := &OLIA{
+		cwnd:     float64(initialCwnd),
+		ssthresh: cc.DefaultSsthresh,
+		group:    group,
+		member:   member,
+	}
+	member.Ext = &oliaState{ctrl: o}
+	return o
+}
+
+// Name implements cc.Controller.
+func (o *OLIA) Name() string { return "olia" }
+
+// ECNCapable implements cc.Controller.
+func (o *OLIA) ECNCapable() bool { return false }
+
+// Window implements cc.Controller.
+func (o *OLIA) Window() int {
+	w := int(o.cwnd)
+	if w < cc.MinWindow {
+		w = cc.MinWindow
+	}
+	return w
+}
+
+// interLossGap returns l_r: the larger of the last completed inter-loss
+// interval and the current one (the RFC 84xx draft's smoothing choice).
+func (o *OLIA) interLossGap() float64 {
+	if o.sinceLastLoss > o.lastInterLoss {
+		return o.sinceLastLoss
+	}
+	return o.lastInterLoss
+}
+
+// sets classifies the group's subflows into M (collected best paths) and
+// B (maximum-window paths) and reports this controller's α numerator sign.
+func (o *OLIA) alphaR() float64 {
+	members := o.group.Members()
+	n := 0
+	var bestMetric, maxW float64
+	for _, m := range members {
+		st, ok := m.Ext.(*oliaState)
+		if !ok || !m.Active {
+			continue
+		}
+		n++
+		l := st.ctrl.interLossGap()
+		rtt := m.SRTT.Seconds()
+		if rtt <= 0 {
+			rtt = 1e-6
+		}
+		if metric := l * l / rtt; metric > bestMetric {
+			bestMetric = metric
+		}
+		if w := st.ctrl.cwnd; w > maxW {
+			maxW = w
+		}
+	}
+	if n <= 1 {
+		return 0
+	}
+	const eps = 1e-9
+	var inM, inB bool
+	var sizeMnotB, sizeB int
+	selfInMnotB, selfInB := false, false
+	for _, m := range members {
+		st, ok := m.Ext.(*oliaState)
+		if !ok || !m.Active {
+			continue
+		}
+		l := st.ctrl.interLossGap()
+		rtt := m.SRTT.Seconds()
+		if rtt <= 0 {
+			rtt = 1e-6
+		}
+		inM = l*l/rtt >= bestMetric-eps
+		inB = st.ctrl.cwnd >= maxW-eps
+		if inM && !inB {
+			sizeMnotB++
+			if st.ctrl == o {
+				selfInMnotB = true
+			}
+		}
+		if inB {
+			sizeB++
+			if st.ctrl == o {
+				selfInB = true
+			}
+		}
+	}
+	if sizeMnotB == 0 {
+		return 0
+	}
+	switch {
+	case selfInMnotB:
+		return 1 / (float64(sizeMnotB) * float64(n))
+	case selfInB:
+		return -1 / (float64(sizeB) * float64(n))
+	default:
+		return 0
+	}
+}
+
+// OnAck implements cc.Controller.
+func (o *OLIA) OnAck(a cc.Ack) {
+	for i := int64(0); i < a.NewlyAcked; i++ {
+		o.sinceLastLoss++
+		if o.cwnd < o.ssthresh {
+			o.cwnd++
+			continue
+		}
+		var sumRate float64
+		for _, m := range o.group.Members() {
+			if !m.Active || m.SRTT <= 0 {
+				continue
+			}
+			sumRate += float64(m.Cwnd) / m.SRTT.Seconds()
+		}
+		rtt := a.SRTT.Seconds()
+		var inc float64
+		if sumRate > 0 && rtt > 0 {
+			inc = (o.cwnd / (rtt * rtt)) / (sumRate * sumRate)
+		} else {
+			inc = 1 / o.cwnd
+		}
+		inc += o.alphaR() / o.cwnd
+		o.cwnd += inc
+		if o.cwnd < cc.MinWindow {
+			o.cwnd = cc.MinWindow
+		}
+	}
+	o.member.Cwnd = o.Window()
+}
+
+// OnDupAck implements cc.Controller.
+func (o *OLIA) OnDupAck(int) {}
+
+// OnFastRetransmit implements cc.Controller.
+func (o *OLIA) OnFastRetransmit() {
+	o.lastInterLoss = o.sinceLastLoss
+	o.sinceLastLoss = 0
+	o.ssthresh = o.cwnd / 2
+	if o.ssthresh < 2 {
+		o.ssthresh = 2
+	}
+	o.cwnd = o.ssthresh
+	o.member.Cwnd = o.Window()
+}
+
+// OnRetransmitTimeout implements cc.Controller.
+func (o *OLIA) OnRetransmitTimeout() {
+	o.lastInterLoss = o.sinceLastLoss
+	o.sinceLastLoss = 0
+	o.ssthresh = o.cwnd / 2
+	if o.ssthresh < 2 {
+		o.ssthresh = 2
+	}
+	o.cwnd = cc.MinWindow
+	o.member.Cwnd = o.Window()
+}

@@ -1,0 +1,159 @@
+package netem
+
+import (
+	"fmt"
+
+	"xmp/internal/sim"
+)
+
+// Bps is a link capacity in bits per second.
+type Bps int64
+
+// Convenience capacities.
+const (
+	Mbps Bps = 1_000_000
+	Gbps Bps = 1_000_000_000
+)
+
+// String renders the capacity in the customary unit.
+func (b Bps) String() string {
+	switch {
+	case b >= Gbps && b%Gbps == 0:
+		return fmt.Sprintf("%dGbps", b/Gbps)
+	case b >= Mbps:
+		return fmt.Sprintf("%gMbps", float64(b)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%dbps", int64(b))
+	}
+}
+
+// Receiver is anything that can accept a delivered packet: a switch, a
+// host, or a test sink.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// Link is a unidirectional store-and-forward link: packets wait in the
+// attached Queue, serialize at Capacity, then propagate for Delay before
+// being handed to the destination. Serialization of the next packet
+// overlaps with propagation of the previous one, as on real hardware.
+type Link struct {
+	Name     string
+	eng      *sim.Engine
+	capacity Bps
+	delay    sim.Duration
+	queue    Queue
+	dst      Receiver
+	busy     bool
+	down     bool
+
+	// Counters for utilization accounting (Figure 11).
+	txBytes   int64
+	txPackets int64
+	// openedAt..(closedAt) bounds the interval the link has been up, so
+	// utilization of links closed mid-run (Figure 7's L3) stays correct.
+	openedAt sim.Time
+	upTime   sim.Duration
+}
+
+// NewLink builds a link feeding dst. The queue discipline is supplied by
+// the caller so topologies can mix marking and plain drop-tail queues.
+func NewLink(eng *sim.Engine, name string, capacity Bps, delay sim.Duration, q Queue, dst Receiver) *Link {
+	if capacity <= 0 {
+		panic("netem: link capacity must be positive")
+	}
+	if q == nil || dst == nil {
+		panic("netem: link requires a queue and a destination")
+	}
+	return &Link{Name: name, eng: eng, capacity: capacity, delay: delay, queue: q, dst: dst, openedAt: eng.Now()}
+}
+
+// TxTime returns the serialization delay of a packet of n bytes.
+func (l *Link) TxTime(n int) sim.Duration {
+	return sim.Duration(int64(n) * 8 * int64(sim.Second) / int64(l.capacity))
+}
+
+// Send enqueues p for transmission. Drops (queue overflow, link down) are
+// absorbed here; the sender learns about them through missing ACKs, exactly
+// as in a real network.
+func (l *Link) Send(p *Packet) {
+	if l.down {
+		return
+	}
+	if !l.queue.Enqueue(l.eng.Now(), p) {
+		return // counted by the queue discipline
+	}
+	if !l.busy {
+		l.startTransmit()
+	}
+}
+
+func (l *Link) startTransmit() {
+	p := l.queue.Dequeue(l.eng.Now())
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.eng.Schedule(l.TxTime(p.WireBytes), func() { l.finishTransmit(p) })
+}
+
+func (l *Link) finishTransmit(p *Packet) {
+	l.txBytes += int64(p.WireBytes)
+	l.txPackets++
+	if !l.down {
+		dst := l.dst
+		l.eng.Schedule(l.delay, func() { dst.Receive(p) })
+	}
+	if l.queue.Len() > 0 && !l.down {
+		l.startTransmit()
+	} else {
+		l.busy = false
+	}
+}
+
+// SetDown opens or closes the link. Closing drops the queue contents and
+// stops future deliveries (used to fail L3 at t=60 s in Figure 7).
+func (l *Link) SetDown(down bool) {
+	now := l.eng.Now()
+	if down && !l.down {
+		l.upTime += now.Sub(l.openedAt)
+		for l.queue.Dequeue(now) != nil {
+		}
+	}
+	if !down && l.down {
+		l.openedAt = now
+	}
+	l.down = down
+}
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// Capacity returns the configured rate.
+func (l *Link) Capacity() Bps { return l.capacity }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Duration { return l.delay }
+
+// Queue exposes the attached queue discipline.
+func (l *Link) Queue() Queue { return l.queue }
+
+// TxBytes returns the bytes fully serialized onto the wire so far.
+func (l *Link) TxBytes() int64 { return l.txBytes }
+
+// TxPackets returns the packets fully serialized onto the wire so far.
+func (l *Link) TxPackets() int64 { return l.txPackets }
+
+// Utilization returns transmitted bits divided by capacity×uptime over
+// [0, now] — the paper's "transferred/capacity" metric for Figure 11.
+func (l *Link) Utilization(now sim.Time) float64 {
+	up := l.upTime
+	if !l.down {
+		up += now.Sub(l.openedAt)
+	}
+	if up <= 0 {
+		return 0
+	}
+	return float64(l.txBytes*8) / (float64(l.capacity) * float64(up) / float64(sim.Second))
+}

@@ -1,0 +1,307 @@
+package netem
+
+import (
+	"testing"
+
+	"xmp/internal/sim"
+)
+
+// sink records delivered packets with their arrival times.
+type sink struct {
+	eng  *sim.Engine
+	pkts []*Packet
+	at   []sim.Time
+}
+
+func (s *sink) Receive(p *Packet) {
+	s.pkts = append(s.pkts, p)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func TestLinkSerializationPlusPropagation(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Gbps, 20*sim.Microsecond, NewDropTail(100), s)
+	p := dataPkt(false) // 1500 bytes -> 12 us at 1 Gbps
+	l.Send(p)
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(s.pkts))
+	}
+	want := sim.Time(32 * sim.Microsecond) // 12 us tx + 20 us prop
+	if s.at[0] != want {
+		t.Fatalf("delivered at %v, want %v", s.at[0], want)
+	}
+}
+
+func TestLinkBackToBackPacketsPipeline(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Gbps, 20*sim.Microsecond, NewDropTail(100), s)
+	l.Send(dataPkt(false))
+	l.Send(dataPkt(false))
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivered %d packets", len(s.pkts))
+	}
+	// Second packet serializes while the first propagates: arrivals 12 us
+	// apart (the serialization time), not 32 us.
+	if gap := s.at[1].Sub(s.at[0]); gap != 12*sim.Microsecond {
+		t.Fatalf("inter-arrival %v, want 12us", gap)
+	}
+}
+
+func TestLinkThroughputMatchesCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", 300*Mbps, sim.Millisecond, NewDropTail(10000), s)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Send(dataPkt(false))
+	}
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != n {
+		t.Fatalf("delivered %d of %d", len(s.pkts), n)
+	}
+	// n packets serialized back to back: last arrival at n*txTime + delay.
+	tx := l.TxTime(MaxPacketBytes)
+	want := sim.Time(0).Add(sim.Duration(n) * tx).Add(sim.Millisecond)
+	if s.at[n-1] != want {
+		t.Fatalf("last arrival %v, want %v", s.at[n-1], want)
+	}
+	if l.TxBytes() != int64(n*MaxPacketBytes) {
+		t.Fatalf("txBytes %d", l.TxBytes())
+	}
+}
+
+func TestLinkDropsWhenQueueFull(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Mbps, 0, NewDropTail(5), s)
+	for i := 0; i < 20; i++ {
+		l.Send(dataPkt(false))
+	}
+	eng.Run(sim.MaxTime)
+	// 1 in flight + 5 queued accepted; the rest dropped.
+	if len(s.pkts) != 6 {
+		t.Fatalf("delivered %d, want 6", len(s.pkts))
+	}
+	if drops := l.Queue().Stats().DroppedPackets; drops != 14 {
+		t.Fatalf("drops %d, want 14", drops)
+	}
+}
+
+func TestLinkSetDown(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Gbps, 10*sim.Microsecond, NewDropTail(100), s)
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			l.Send(dataPkt(false))
+		}
+	})
+	eng.Schedule(30*sim.Microsecond, func() { l.SetDown(true) })
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) >= 10 {
+		t.Fatal("link down did not stop deliveries")
+	}
+	if !l.Down() {
+		t.Fatal("link not reported down")
+	}
+	// Sends while down are discarded.
+	before := len(s.pkts)
+	l.Send(dataPkt(false))
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != before {
+		t.Fatal("packet delivered over a down link")
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Gbps, 0, NewDropTail(1000), s)
+	const n = 100
+	for i := 0; i < n; i++ {
+		l.Send(dataPkt(false))
+	}
+	eng.Run(sim.MaxTime)
+	// Over exactly the busy period utilization is 1.
+	busy := sim.Time(0).Add(sim.Duration(n) * l.TxTime(MaxPacketBytes))
+	if u := l.Utilization(busy); u < 0.999 || u > 1.001 {
+		t.Fatalf("utilization over busy period = %v, want 1", u)
+	}
+	// Over twice the busy period it is 0.5.
+	if u := l.Utilization(busy * 2); u < 0.499 || u > 0.501 {
+		t.Fatalf("utilization over 2x busy period = %v, want 0.5", u)
+	}
+}
+
+func TestLinkTxTime(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "l", Gbps, 0, NewDropTail(1), &sink{eng: eng})
+	if got := l.TxTime(1500); got != 12*sim.Microsecond {
+		t.Fatalf("TxTime(1500) at 1Gbps = %v, want 12us", got)
+	}
+}
+
+func TestBpsString(t *testing.T) {
+	cases := map[Bps]string{
+		Gbps:       "1Gbps",
+		300 * Mbps: "300Mbps",
+		1500:       "1500bps",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestSwitchForwardsByTable(t *testing.T) {
+	eng := sim.NewEngine()
+	s1 := &sink{eng: eng}
+	s2 := &sink{eng: eng}
+	sw := NewSwitch(1, "sw", "rack")
+	l1 := NewLink(eng, "l1", Gbps, 0, NewDropTail(10), s1)
+	l2 := NewLink(eng, "l2", Gbps, 0, NewDropTail(10), s2)
+	sw.AddRoute(Addr(100), l1)
+	sw.AddRoute(Addr(200), l2)
+	p1 := NewDataPacket(1, 0, 100, 0, MSS, false)
+	p2 := NewDataPacket(1, 0, 200, 0, MSS, false)
+	sw.Receive(p1)
+	sw.Receive(p2)
+	eng.Run(sim.MaxTime)
+	if len(s1.pkts) != 1 || len(s2.pkts) != 1 {
+		t.Fatalf("misrouted: sink1=%d sink2=%d", len(s1.pkts), len(s2.pkts))
+	}
+}
+
+func TestSwitchUnroutable(t *testing.T) {
+	sw := NewSwitch(1, "sw", "rack")
+	sw.Receive(NewDataPacket(1, 0, 999, 0, MSS, false))
+	if sw.Unroutable() != 1 {
+		t.Fatal("unroutable drop not counted")
+	}
+}
+
+func TestSwitchDuplicateRoutePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(1, "sw", "rack")
+	l := NewLink(eng, "l", Gbps, 0, NewDropTail(1), &sink{eng: eng})
+	sw.AddRoute(5, l)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate route did not panic")
+		}
+	}()
+	sw.AddRoute(5, l)
+}
+
+func TestTTLExpiryBreaksRoutingLoops(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewSwitch(1, "a", "core")
+	b := NewSwitch(2, "b", "core")
+	la := NewLink(eng, "a->b", Gbps, 0, NewDropTail(10), b)
+	lb := NewLink(eng, "b->a", Gbps, 0, NewDropTail(10), a)
+	a.AddRoute(7, la)
+	b.AddRoute(7, lb)
+	a.Receive(NewDataPacket(1, 0, 7, 0, MSS, false))
+	eng.RunAll(10000) // must terminate
+	if a.LoopDrops()+b.LoopDrops() != 1 {
+		t.Fatalf("loop drops = %d, want 1", a.LoopDrops()+b.LoopDrops())
+	}
+}
+
+type recordingEndpoint struct{ got []*Packet }
+
+func (r *recordingEndpoint) Deliver(p *Packet) { r.got = append(r.got, p) }
+
+func TestHostDemux(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, 1, "h1")
+	h.AddAddr(10)
+	h.AddAddr(11)
+	if h.PrimaryAddr() != 10 {
+		t.Fatal("primary addr wrong")
+	}
+	ep1, ep2 := &recordingEndpoint{}, &recordingEndpoint{}
+	h.Register(1, ep1)
+	h.Register(2, ep2)
+	h.Receive(NewAckPacket(1, 99, 10, 0))
+	h.Receive(NewAckPacket(2, 99, 11, 0))
+	h.Receive(NewAckPacket(3, 99, 10, 0)) // unknown conn
+	if len(ep1.got) != 1 || len(ep2.got) != 1 {
+		t.Fatalf("demux wrong: %d/%d", len(ep1.got), len(ep2.got))
+	}
+	if h.Misdelivered != 1 {
+		t.Fatalf("misdelivered = %d", h.Misdelivered)
+	}
+	h.Unregister(1)
+	h.Receive(NewAckPacket(1, 99, 10, 0))
+	if h.Misdelivered != 2 {
+		t.Fatal("unregistered conn still receiving")
+	}
+}
+
+func TestHostDuplicateRegisterPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, 1, "h1")
+	h.Register(1, &recordingEndpoint{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate register did not panic")
+		}
+	}()
+	h.Register(1, &recordingEndpoint{})
+}
+
+func TestHostSendUsesNIC(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	h := NewHost(eng, 1, "h1")
+	h.AttachNIC(NewLink(eng, "nic", Gbps, 0, NewDropTail(10), s))
+	h.Send(dataPkt(false))
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != 1 {
+		t.Fatal("host did not transmit via NIC")
+	}
+	if h.NIC() == nil || h.Engine() != eng {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := NewControlPacket(3, 1, 2, true, true)
+	if got := p.String(); got == "" {
+		t.Fatal("empty String()")
+	}
+	for _, p := range []*Packet{
+		NewControlPacket(3, 1, 2, false, false),
+		NewAckPacket(1, 1, 2, 5),
+		NewDataPacket(1, 1, 2, 5, 100, true),
+	} {
+		if p.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}
+
+func TestPacketConstructors(t *testing.T) {
+	d := NewDataPacket(1, 2, 3, 7, 999, true)
+	if d.WireBytes != HeaderBytes+999 || !d.ECT || d.Seq != 7 || d.PayloadBytes != 999 {
+		t.Fatalf("data packet fields wrong: %+v", d)
+	}
+	a := NewAckPacket(1, 3, 2, 8)
+	if !a.IsAck || a.Ack != 8 || a.WireBytes != HeaderBytes {
+		t.Fatalf("ack packet fields wrong: %+v", a)
+	}
+	s := NewControlPacket(1, 2, 3, true, true)
+	if !s.SYN || s.FIN {
+		t.Fatal("SYN constructor wrong")
+	}
+	f := NewControlPacket(1, 2, 3, false, true)
+	if f.SYN || !f.FIN {
+		t.Fatal("FIN constructor wrong")
+	}
+}

@@ -1,0 +1,68 @@
+package netem
+
+import (
+	"testing"
+
+	"xmp/internal/sim"
+)
+
+func TestLossyZeroProbabilityPassesThrough(t *testing.T) {
+	q := NewLossy(NewDropTail(10), 0, sim.NewRNG(1))
+	for i := 0; i < 10; i++ {
+		if !q.Enqueue(0, dataPkt(false)) {
+			t.Fatal("lossless wrapper dropped")
+		}
+	}
+	if q.Len() != 10 || q.Injected() != 0 {
+		t.Fatalf("len=%d injected=%d", q.Len(), q.Injected())
+	}
+	if q.Dequeue(0) == nil {
+		t.Fatal("dequeue failed")
+	}
+	if q.Bytes() != 9*MaxPacketBytes {
+		t.Fatalf("bytes %d", q.Bytes())
+	}
+}
+
+func TestLossyDropsAtConfiguredRate(t *testing.T) {
+	q := NewLossy(NewDropTail(1_000_000), 0.25, sim.NewRNG(2))
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, dataPkt(false))
+	}
+	frac := float64(q.Injected()) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("injected fraction %.3f, want ~0.25", frac)
+	}
+	// Injected drops appear in Stats.
+	if q.Stats().DroppedPackets != q.Injected() {
+		t.Fatalf("stats drops %d vs injected %d", q.Stats().DroppedPackets, q.Injected())
+	}
+}
+
+func TestLossyStatsCombineInnerDrops(t *testing.T) {
+	q := NewLossy(NewDropTail(1), 0, sim.NewRNG(3))
+	q.Enqueue(0, dataPkt(false))
+	q.Enqueue(0, dataPkt(false)) // inner tail drop
+	if q.Stats().DroppedPackets != 1 {
+		t.Fatalf("combined drops %d", q.Stats().DroppedPackets)
+	}
+}
+
+func TestLossyValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"p=1":       func() { NewLossy(NewDropTail(1), 1, sim.NewRNG(1)) },
+		"p<0":       func() { NewLossy(NewDropTail(1), -0.1, sim.NewRNG(1)) },
+		"nil inner": func() { NewLossy(nil, 0.1, sim.NewRNG(1)) },
+		"nil rng":   func() { NewLossy(NewDropTail(1), 0.1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

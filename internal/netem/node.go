@@ -1,0 +1,143 @@
+package netem
+
+import (
+	"fmt"
+
+	"xmp/internal/sim"
+)
+
+// NodeID identifies a node (host or switch) within a topology.
+type NodeID int32
+
+// Endpoint is the transport-layer object a host delivers packets to; the
+// TCP connection type in internal/transport implements it.
+type Endpoint interface {
+	Deliver(p *Packet)
+}
+
+// Switch is an output-queued switch: a static forwarding table maps every
+// destination address to an egress link. Routing tables are computed by the
+// topology builders (two-level lookup for the Fat-Tree).
+type Switch struct {
+	ID    NodeID
+	Name  string
+	table map[Addr]*Link
+	// Layer tags the switch for per-layer utilization reporting
+	// ("core", "aggregation", "rack").
+	Layer string
+
+	unroutable int64
+	loops      int64
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch(id NodeID, name, layer string) *Switch {
+	return &Switch{ID: id, Name: name, Layer: layer, table: make(map[Addr]*Link)}
+}
+
+// AddRoute installs dst -> out. Installing a second route for the same
+// destination panics: topology construction bugs should fail loudly.
+func (s *Switch) AddRoute(dst Addr, out *Link) {
+	if _, dup := s.table[dst]; dup {
+		panic(fmt.Sprintf("netem: duplicate route for addr %d on %s", dst, s.Name))
+	}
+	s.table[dst] = out
+}
+
+// Route returns the egress link for dst, or nil.
+func (s *Switch) Route(dst Addr) *Link { return s.table[dst] }
+
+// Receive implements Receiver: look up the egress and forward.
+func (s *Switch) Receive(p *Packet) {
+	out, ok := s.table[p.Dst]
+	if !ok {
+		s.unroutable++
+		return
+	}
+	if !p.DecTTL() {
+		s.loops++
+		return
+	}
+	out.Send(p)
+}
+
+// Unroutable returns the count of packets dropped for missing routes.
+func (s *Switch) Unroutable() int64 { return s.unroutable }
+
+// LoopDrops returns the count of packets dropped for TTL expiry.
+func (s *Switch) LoopDrops() int64 { return s.loops }
+
+// Host models an end system: it owns one or more addresses, one NIC (an
+// egress Link toward its switch), and a demultiplexer from ConnID to the
+// transport endpoints terminating here.
+type Host struct {
+	ID    NodeID
+	Name  string
+	addrs []Addr
+	nic   *Link
+	eng   *sim.Engine
+	conns map[ConnID]Endpoint
+
+	// Misdelivered counts packets that arrived for a connection this host
+	// doesn't know (e.g. packets in flight when a connection closed).
+	Misdelivered int64
+}
+
+// NewHost returns a host with no NIC attached yet.
+func NewHost(eng *sim.Engine, id NodeID, name string) *Host {
+	return &Host{ID: id, Name: name, eng: eng, conns: make(map[ConnID]Endpoint)}
+}
+
+// AttachNIC sets the host's egress link.
+func (h *Host) AttachNIC(nic *Link) { h.nic = nic }
+
+// NIC returns the host's egress link.
+func (h *Host) NIC() *Link { return h.nic }
+
+// AddAddr registers an address owned by this host. The first address added
+// is the primary address.
+func (h *Host) AddAddr(a Addr) { h.addrs = append(h.addrs, a) }
+
+// Addrs returns all addresses owned by the host; index 0 is primary. The
+// returned slice must not be modified.
+func (h *Host) Addrs() []Addr { return h.addrs }
+
+// PrimaryAddr returns the host's first address.
+func (h *Host) PrimaryAddr() Addr {
+	if len(h.addrs) == 0 {
+		panic("netem: host has no addresses")
+	}
+	return h.addrs[0]
+}
+
+// Register binds a connection ID to a local endpoint.
+func (h *Host) Register(id ConnID, ep Endpoint) {
+	if _, dup := h.conns[id]; dup {
+		panic(fmt.Sprintf("netem: duplicate conn %d on host %s", id, h.Name))
+	}
+	h.conns[id] = ep
+}
+
+// Unregister removes a connection binding.
+func (h *Host) Unregister(id ConnID) { delete(h.conns, id) }
+
+// Send transmits a packet out of the host NIC.
+func (h *Host) Send(p *Packet) {
+	if h.nic == nil {
+		panic("netem: host has no NIC")
+	}
+	h.nic.Send(p)
+}
+
+// Receive implements Receiver: demultiplex to the owning endpoint.
+func (h *Host) Receive(p *Packet) {
+	ep, ok := h.conns[p.Conn]
+	if !ok {
+		h.Misdelivered++
+		return
+	}
+	ep.Deliver(p)
+}
+
+// Engine returns the event engine the host is bound to.
+func (h *Host) Engine() *sim.Engine { return h.eng }

@@ -1,0 +1,158 @@
+// Package netem models the network elements of the simulator: packets,
+// queue disciplines (drop-tail, instantaneous-threshold ECN marking, RED),
+// store-and-forward links, output-queued switches and host NICs.
+//
+// Together with the event engine in internal/sim it plays the role NS-3.14
+// played in the paper's evaluation.
+package netem
+
+import "fmt"
+
+// Addr identifies a host interface address. A physical host may own several
+// addresses ("aliases"); in the Fat-Tree topology each alias routes through
+// a different core switch, which is how MPTCP subflows are spread across
+// distinct paths (Section 5.2 of the paper).
+type Addr int32
+
+// AddrNone is the zero, invalid address.
+const AddrNone Addr = -1
+
+// ConnID identifies one TCP connection (an MPTCP subflow is one
+// connection). Both endpoints of a connection share the ConnID; hosts use
+// it to demultiplex arriving packets.
+type ConnID int32
+
+// Standard wire sizes. The paper computes BDPs with 1500-byte packets on
+// 1 Gbps links (12 us serialization per packet), so a full-sized data
+// packet is HeaderBytes+MSS = 1500 bytes.
+const (
+	// MSS is the maximum segment payload in bytes.
+	MSS = 1460
+	// HeaderBytes models the combined IP+TCP header overhead.
+	HeaderBytes = 40
+	// MaxPacketBytes is the wire size of a full-sized data packet.
+	MaxPacketBytes = MSS + HeaderBytes
+)
+
+// initialTTL bounds the number of forwarding hops; exceeding it indicates a
+// routing loop and the packet is dropped (and counted).
+const initialTTL = 64
+
+// Packet is one simulated packet. Sequence and acknowledgement numbers are
+// expressed in MSS-sized segments rather than bytes: the paper's algorithms
+// all operate on packet-granularity congestion windows, and segment
+// numbering keeps receiver bookkeeping exact. PayloadBytes carries the true
+// byte count of this segment (the final segment of a flow may be short), so
+// goodput accounting remains byte-accurate.
+type Packet struct {
+	Src, Dst Addr
+	Conn     ConnID
+	// WireBytes is the total on-the-wire size used for serialization delay
+	// and utilization accounting.
+	WireBytes int
+
+	// ECN state.
+	ECT bool // sender is ECN-capable
+	CE  bool // congestion experienced (set by switches)
+	// CWR is the congestion-window-reduced flag on data packets; only
+	// meaningful with standard RFC 3168 echo semantics (it clears the
+	// receiver's ECE latch). The BOS two-bit echo repurposes the ECE+CWR
+	// header bits of ACKs, modelled by the ECNEcho field below.
+	CWR bool
+
+	// TCP-level fields.
+	SYN, FIN, IsAck bool
+	Seq             int64 // segment index of this data packet (data packets)
+	PayloadBytes    int   // bytes of application data in this segment
+	Ack             int64 // cumulative ack: next expected segment index
+	// ECNEcho is the number of CE marks the receiver reports in this ACK,
+	// 0..3, encoded on the wire in the ECE+CWR bits (the BOS two-bit echo).
+	// For standard-ECN flows it is 0 or 1 (1 = ECE set).
+	ECNEcho int
+	// EchoTime carries the sender timestamp being echoed for RTT
+	// measurement (TCP timestamp option); <0 when absent.
+	SendTime int64
+	EchoTime int64
+
+	// SACK blocks: up to 3 half-open segment ranges the receiver holds
+	// above the cumulative ACK (RFC 2018, in segment units). Only
+	// populated when the connection negotiated SACK.
+	SACK      [3][2]int64
+	SACKCount int
+
+	ttl int
+}
+
+// NewDataPacket builds a data segment of payload bytes from src to dst.
+func NewDataPacket(conn ConnID, src, dst Addr, seq int64, payload int, ect bool) *Packet {
+	return &Packet{
+		Src:          src,
+		Dst:          dst,
+		Conn:         conn,
+		WireBytes:    HeaderBytes + payload,
+		ECT:          ect,
+		Seq:          seq,
+		PayloadBytes: payload,
+		SendTime:     -1,
+		EchoTime:     -1,
+		ttl:          initialTTL,
+	}
+}
+
+// NewAckPacket builds a pure acknowledgement from src to dst.
+func NewAckPacket(conn ConnID, src, dst Addr, ack int64) *Packet {
+	return &Packet{
+		Src:       src,
+		Dst:       dst,
+		Conn:      conn,
+		WireBytes: HeaderBytes,
+		IsAck:     true,
+		Ack:       ack,
+		SendTime:  -1,
+		EchoTime:  -1,
+		ttl:       initialTTL,
+	}
+}
+
+// NewControlPacket builds a SYN or FIN segment (syn selects which).
+func NewControlPacket(conn ConnID, src, dst Addr, syn bool, ect bool) *Packet {
+	p := &Packet{
+		Src:       src,
+		Dst:       dst,
+		Conn:      conn,
+		WireBytes: HeaderBytes,
+		ECT:       ect,
+		SendTime:  -1,
+		EchoTime:  -1,
+		ttl:       initialTTL,
+	}
+	if syn {
+		p.SYN = true
+	} else {
+		p.FIN = true
+	}
+	return p
+}
+
+// DecTTL decrements the packet TTL and reports whether the packet is still
+// forwardable.
+func (p *Packet) DecTTL() bool {
+	p.ttl--
+	return p.ttl > 0
+}
+
+// String renders a compact human-readable description, used by the tracer
+// and test failure messages.
+func (p *Packet) String() string {
+	kind := "data"
+	switch {
+	case p.SYN:
+		kind = "syn"
+	case p.FIN:
+		kind = "fin"
+	case p.IsAck:
+		kind = "ack"
+	}
+	return fmt.Sprintf("%s conn=%d %d->%d seq=%d ack=%d ce=%v echo=%d",
+		kind, p.Conn, p.Src, p.Dst, p.Seq, p.Ack, p.CE, p.ECNEcho)
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at       Time
+	seq      uint64 // tiebreaker: FIFO among events at the same instant
+	fn       func()
+	index    int // position in the heap, -1 once removed
+	canceled bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; an experiment owns exactly one Engine.
+type Engine struct {
+	now     Time
+	nextSeq uint64
+	events  eventHeap
+	// processed counts events executed, for progress reporting and the
+	// runaway guard in tests.
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay d (>= 0). It returns the Event, which may be
+// passed to Cancel. Scheduling in the past panics: it always indicates a
+// logic error in the caller.
+func (e *Engine) Schedule(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute time t (>= Now).
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op, which makes timer management at the
+// call sites straightforward.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Stop makes the current Run call return after the event in progress
+// completes. It may be called from inside an event callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the calendar is empty or the
+// clock would pass until. Events scheduled exactly at until still run. It
+// returns the number of events executed by this call.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.processed
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	if e.now < until && until != MaxTime && !e.stopped {
+		// Drained the calendar before the horizon: advance the clock so a
+		// subsequent Run continues from the horizon, matching how NS-style
+		// simulators treat Stop times. The MaxTime sentinel ("run to
+		// completion") leaves the clock at the last executed event.
+		e.now = until
+	}
+	return e.processed - start
+}
+
+// RunAll executes events until the calendar is empty. It is intended for
+// closed workloads that are guaranteed to terminate; the maxEvents guard
+// converts an accidental infinite event loop into a panic with context.
+func (e *Engine) RunAll(maxEvents uint64) uint64 {
+	start := e.processed
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.processed-start >= maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events at t=%v (runaway event loop?)", maxEvents, e.now))
+		}
+		next := heap.Pop(&e.events).(*Event)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	return e.processed - start
+}
+
+// MaxTime is the largest representable simulated time; usable as an
+// "effectively forever" horizon for Run.
+const MaxTime = Time(math.MaxInt64)

@@ -1,0 +1,58 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an Engine, analogous to
+// the retransmission timers inside a TCP implementation. The zero value is
+// not usable; create timers with NewTimer.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, replacing any pending
+// expiration.
+func (t *Timer) Reset(d Duration) {
+	t.Stop()
+	ev := t.eng.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	ev := t.eng.ScheduleAt(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// Stop cancels any pending expiration. Stopping a stopped timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiration.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the time the timer will fire; valid only when Armed.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}

@@ -1,0 +1,85 @@
+package topo
+
+import (
+	"fmt"
+
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// DumbbellConfig parameterizes the single-bottleneck topology of Figure 1:
+// N sender hosts on the left switch, N receivers on the right, one
+// bottleneck pair between them.
+type DumbbellConfig struct {
+	// Pairs is the number of sender/receiver host pairs.
+	Pairs int
+	// BottleneckCapacity is the constrained link rate (1 Gbps in Fig. 1).
+	BottleneckCapacity netem.Bps
+	// EdgeCapacity is the host link rate (defaults to BottleneckCapacity).
+	EdgeCapacity netem.Bps
+	// HopDelay is the one-way propagation delay of every link; the
+	// zero-queue RTT is 6×HopDelay plus serialization (three hops each
+	// way). Figure 1's 225 µs base RTT ≈ HopDelay 31 µs.
+	HopDelay sim.Duration
+	// BottleneckQueue builds the discipline of the two bottleneck
+	// directions (the experiment's marking queue).
+	BottleneckQueue QueueMaker
+	// EdgeQueue builds the discipline of host NICs and switch->host ports
+	// (defaults to BottleneckQueue, as NS-3 installs the experiment's
+	// queue on every device).
+	EdgeQueue QueueMaker
+}
+
+// Dumbbell is the constructed Figure 1 topology.
+type Dumbbell struct {
+	*Network
+	Senders   []*netem.Host
+	Receivers []*netem.Host
+	Left      *netem.Switch
+	Right     *netem.Switch
+	// Forward carries data (left->right); Reverse carries ACKs.
+	Forward, Reverse *netem.Link
+}
+
+// NewDumbbell builds the topology on a fresh engine-bound network.
+func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
+	if cfg.Pairs <= 0 {
+		panic("topo: dumbbell needs at least one host pair")
+	}
+	if cfg.BottleneckQueue == nil {
+		panic("topo: dumbbell needs a bottleneck queue maker")
+	}
+	if cfg.EdgeCapacity == 0 {
+		cfg.EdgeCapacity = cfg.BottleneckCapacity
+	}
+	if cfg.EdgeQueue == nil {
+		cfg.EdgeQueue = cfg.BottleneckQueue
+	}
+
+	n := NewNetwork(eng)
+	d := &Dumbbell{Network: n}
+	d.Left = n.NewSwitch("left", LayerEdge)
+	d.Right = n.NewSwitch("right", LayerEdge)
+
+	d.Forward = n.AddLink("left->right", cfg.BottleneckCapacity, cfg.HopDelay,
+		cfg.BottleneckQueue(), d.Right, LayerBottleneck)
+	d.Reverse = n.AddLink("right->left", cfg.BottleneckCapacity, cfg.HopDelay,
+		cfg.BottleneckQueue(), d.Left, LayerBottleneck)
+
+	for i := 0; i < cfg.Pairs; i++ {
+		s := n.NewHost(fmt.Sprintf("s%d", i+1))
+		r := n.NewHost(fmt.Sprintf("d%d", i+1))
+		n.AttachHost(s, d.Left, cfg.EdgeCapacity, cfg.HopDelay, cfg.EdgeQueue, LayerEdge)
+		n.AttachHost(r, d.Right, cfg.EdgeCapacity, cfg.HopDelay, cfg.EdgeQueue, LayerEdge)
+		d.Senders = append(d.Senders, s)
+		d.Receivers = append(d.Receivers, r)
+	}
+	// Cross-switch routing: receivers live right, senders live left.
+	for _, r := range d.Receivers {
+		RouteHostAddrs(d.Left, r, d.Forward)
+	}
+	for _, s := range d.Senders {
+		RouteHostAddrs(d.Right, s, d.Reverse)
+	}
+	return d
+}

@@ -1,0 +1,65 @@
+package topo
+
+import (
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// Fabric is the abstraction the workload generators run over: any
+// multi-rooted topology with indexable multi-address hosts. FatTree and
+// VL2 both implement it, so the Section 5.2 traffic patterns (and the
+// extension experiments) are fabric-agnostic.
+type Fabric interface {
+	// Engine returns the event engine the fabric is bound to.
+	Engine() *sim.Engine
+	// NumHosts returns the number of end hosts.
+	NumHosts() int
+	// Host returns host i.
+	Host(i int) *netem.Host
+	// AliasOf returns host i's a-th address (wrapping beyond the
+	// provisioned alias count).
+	AliasOf(i, a int) netem.Addr
+	// Categorize classifies a host pair's locality.
+	Categorize(src, dst int) Category
+	// NextConnID allocates a connection identifier.
+	NextConnID() netem.ConnID
+}
+
+// Engine implements Fabric for Network-embedded topologies.
+func (n *Network) Engine() *sim.Engine { return n.Eng }
+
+// Host implements Fabric.
+func (ft *FatTree) Host(i int) *netem.Host { return ft.HostList[i] }
+
+// AliasOf implements Fabric.
+func (ft *FatTree) AliasOf(i, a int) netem.Addr { return ft.Alias(ft.HostList[i], a) }
+
+// Host implements Fabric.
+func (v *VL2) Host(i int) *netem.Host { return v.Servers[i] }
+
+// NumHosts implements Fabric.
+func (v *VL2) NumHosts() int { return len(v.Servers) }
+
+// AliasOf implements Fabric.
+func (v *VL2) AliasOf(i, a int) netem.Addr { return v.Alias(v.Servers[i], a) }
+
+// Categorize implements Fabric: same ToR is Inner-Rack; ToRs sharing an
+// aggregation pair form VL2's analogue of a pod (Inter-Rack); everything
+// else is Inter-Pod.
+func (v *VL2) Categorize(src, dst int) Category {
+	ts, td := v.serverToR[src], v.serverToR[dst]
+	switch {
+	case ts == td:
+		return InnerRack
+	case ts%(v.Cfg.NumAggregation/2) == td%(v.Cfg.NumAggregation/2):
+		return InterRack
+	default:
+		return InterPod
+	}
+}
+
+// Compile-time checks.
+var (
+	_ Fabric = (*FatTree)(nil)
+	_ Fabric = (*VL2)(nil)
+)

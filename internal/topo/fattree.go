@@ -1,0 +1,261 @@
+package topo
+
+import (
+	"fmt"
+
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// FatTreeConfig parameterizes the k-ary Fat-Tree of Section 5.2: k pods of
+// k/2 edge and k/2 aggregation switches, (k/2)² core switches, k³/4 hosts,
+// 1 Gbps links throughout, and per-layer one-way delays of 20/30/40 µs.
+type FatTreeConfig struct {
+	// K is the switch port count (even, >= 4). The paper uses k=8:
+	// 80 switches, 128 hosts.
+	K int
+	// AliasesPerHost is the number of addresses assigned to each host.
+	// Alias a of host (pod, edge, i) routes upward through agg switch
+	// (i+a) mod k/2 and core column ((i+a)/(k/2)) mod k/2, so consecutive
+	// aliases take disjoint paths — the paper's mechanism for giving each
+	// MPTCP subflow its own path. (k/2)² aliases cover every path.
+	AliasesPerHost int
+	// LinkCapacity is 1 Gbps in the paper.
+	LinkCapacity netem.Bps
+	// RackDelay, AggDelay, CoreDelay are the one-way delays of
+	// host-edge, edge-agg and agg-core links (20/30/40 µs).
+	RackDelay, AggDelay, CoreDelay sim.Duration
+	// SwitchQueue builds every switch egress queue (marking queue in the
+	// paper: K=10, limit 100).
+	SwitchQueue QueueMaker
+}
+
+// DefaultFatTreeConfig returns the paper's k=8 configuration with the
+// given queue discipline.
+func DefaultFatTreeConfig(qm QueueMaker) FatTreeConfig {
+	return FatTreeConfig{
+		K:              8,
+		AliasesPerHost: 16,
+		LinkCapacity:   netem.Gbps,
+		RackDelay:      20 * sim.Microsecond,
+		AggDelay:       30 * sim.Microsecond,
+		CoreDelay:      40 * sim.Microsecond,
+		SwitchQueue:    qm,
+	}
+}
+
+// Category classifies a source/destination host pair by locality, the
+// grouping of Figures 8(c), 8(d) and 10.
+type Category int
+
+// Flow locality categories.
+const (
+	InnerRack Category = iota
+	InterRack          // same pod, different racks
+	InterPod
+)
+
+// String names the category as the paper does.
+func (c Category) String() string {
+	switch c {
+	case InnerRack:
+		return "Inner-Rack"
+	case InterRack:
+		return "Inter-Rack"
+	case InterPod:
+		return "Inter-Pod"
+	default:
+		return "unknown"
+	}
+}
+
+// FatTree is the constructed topology.
+type FatTree struct {
+	*Network
+	Cfg FatTreeConfig
+
+	// HostList[h] for h in [0, k³/4): pod-major, then edge, then index.
+	HostList []*netem.Host
+	// Edge[p][e], Agg[p][x], Core[x][j] switches.
+	Edge, Agg [][]*netem.Switch
+	Core      [][]*netem.Switch
+
+	hostPod, hostEdge, hostIdx []int
+}
+
+// NewFatTree builds the topology.
+func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
+	k := cfg.K
+	if k < 4 || k%2 != 0 {
+		panic("topo: fat-tree K must be even and >= 4")
+	}
+	if cfg.AliasesPerHost < 1 {
+		cfg.AliasesPerHost = 1
+	}
+	if cfg.SwitchQueue == nil {
+		panic("topo: fat-tree needs a switch queue maker")
+	}
+	half := k / 2
+	n := NewNetwork(eng)
+	ft := &FatTree{Network: n, Cfg: cfg}
+
+	// Switches.
+	ft.Edge = make([][]*netem.Switch, k)
+	ft.Agg = make([][]*netem.Switch, k)
+	for p := 0; p < k; p++ {
+		ft.Edge[p] = make([]*netem.Switch, half)
+		ft.Agg[p] = make([]*netem.Switch, half)
+		for e := 0; e < half; e++ {
+			ft.Edge[p][e] = n.NewSwitch(fmt.Sprintf("edge%d.%d", p, e), LayerRack)
+			ft.Agg[p][e] = n.NewSwitch(fmt.Sprintf("agg%d.%d", p, e), LayerAggregation)
+		}
+	}
+	ft.Core = make([][]*netem.Switch, half)
+	for x := 0; x < half; x++ {
+		ft.Core[x] = make([]*netem.Switch, half)
+		for j := 0; j < half; j++ {
+			ft.Core[x][j] = n.NewSwitch(fmt.Sprintf("core%d.%d", x, j), LayerCore)
+		}
+	}
+
+	// Hosts with aliases.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for i := 0; i < half; i++ {
+				h := n.NewHost(fmt.Sprintf("h%d.%d.%d", p, e, i))
+				for a := 1; a < cfg.AliasesPerHost; a++ {
+					n.AddAddr(h)
+				}
+				n.AttachHost(h, ft.Edge[p][e], cfg.LinkCapacity, cfg.RackDelay, cfg.SwitchQueue, LayerRack)
+				ft.HostList = append(ft.HostList, h)
+				ft.hostPod = append(ft.hostPod, p)
+				ft.hostEdge = append(ft.hostEdge, e)
+				ft.hostIdx = append(ft.hostIdx, i)
+			}
+		}
+	}
+
+	// Edge <-> Agg links.
+	edgeUp := make([][][]*netem.Link, k)  // [p][e][x]
+	aggDown := make([][][]*netem.Link, k) // [p][x][e]
+	for p := 0; p < k; p++ {
+		edgeUp[p] = make([][]*netem.Link, half)
+		aggDown[p] = make([][]*netem.Link, half)
+		for e := 0; e < half; e++ {
+			edgeUp[p][e] = make([]*netem.Link, half)
+		}
+		for x := 0; x < half; x++ {
+			aggDown[p][x] = make([]*netem.Link, half)
+		}
+		for e := 0; e < half; e++ {
+			for x := 0; x < half; x++ {
+				edgeUp[p][e][x] = n.AddLink(fmt.Sprintf("edge%d.%d->agg%d.%d", p, e, p, x),
+					cfg.LinkCapacity, cfg.AggDelay, cfg.SwitchQueue(), ft.Agg[p][x], LayerAggregation)
+				aggDown[p][x][e] = n.AddLink(fmt.Sprintf("agg%d.%d->edge%d.%d", p, x, p, e),
+					cfg.LinkCapacity, cfg.AggDelay, cfg.SwitchQueue(), ft.Edge[p][e], LayerAggregation)
+			}
+		}
+	}
+
+	// Agg <-> Core links: agg switch x of every pod connects to core row x.
+	aggUp := make([][][]*netem.Link, k)       // [p][x][j]
+	coreDown := make([][][]*netem.Link, half) // [x][j][p]
+	for x := 0; x < half; x++ {
+		coreDown[x] = make([][]*netem.Link, half)
+		for j := 0; j < half; j++ {
+			coreDown[x][j] = make([]*netem.Link, k)
+		}
+	}
+	for p := 0; p < k; p++ {
+		aggUp[p] = make([][]*netem.Link, half)
+		for x := 0; x < half; x++ {
+			aggUp[p][x] = make([]*netem.Link, half)
+			for j := 0; j < half; j++ {
+				aggUp[p][x][j] = n.AddLink(fmt.Sprintf("agg%d.%d->core%d.%d", p, x, x, j),
+					cfg.LinkCapacity, cfg.CoreDelay, cfg.SwitchQueue(), ft.Core[x][j], LayerCore)
+				coreDown[x][j][p] = n.AddLink(fmt.Sprintf("core%d.%d->agg%d.%d", x, j, p, x),
+					cfg.LinkCapacity, cfg.CoreDelay, cfg.SwitchQueue(), ft.Agg[p][x], LayerCore)
+			}
+		}
+	}
+
+	// Routing tables: for every (host, alias) address install the
+	// two-level-lookup path at every switch.
+	for h, host := range ft.HostList {
+		p, e, i := ft.hostPod[h], ft.hostEdge[h], ft.hostIdx[h]
+		for a, addr := range host.Addrs() {
+			// Upward spreading digits derived from the destination's
+			// position suffix (edge index and host index, as in the
+			// Al-Fares two-level lookup) plus the alias. Across a pod's
+			// (e, i) pairs the suffix s covers all (k/2)^2 paths, so
+			// deterministic routing spreads single-path traffic over
+			// every core switch, while consecutive aliases of one host
+			// take disjoint paths for its MPTCP subflows.
+			s := i + half*e + a
+			x := s % half          // agg choice
+			j := (s / half) % half // core column choice
+
+			// Edge switches: same-rack handled by AttachHost; other racks
+			// route up to agg x... but only switches that are NOT on this
+			// address's own downward path need entries. Install:
+			//  - every edge switch except the home rack: upward to agg x.
+			//  - every agg switch in the home pod: downward to edge e.
+			//  - every agg switch in other pods: upward to core (x', j).
+			//  - every core switch: downward to pod p.
+			for pp := 0; pp < k; pp++ {
+				for ee := 0; ee < half; ee++ {
+					if pp == p && ee == e {
+						continue // home rack: direct host route installed
+					}
+					ft.Edge[pp][ee].AddRoute(addr, edgeUp[pp][ee][x])
+				}
+				for xx := 0; xx < half; xx++ {
+					if pp == p {
+						ft.Agg[pp][xx].AddRoute(addr, aggDown[pp][xx][e])
+					} else {
+						ft.Agg[pp][xx].AddRoute(addr, aggUp[pp][xx][j])
+					}
+				}
+			}
+			for xx := 0; xx < half; xx++ {
+				for jj := 0; jj < half; jj++ {
+					ft.Core[xx][jj].AddRoute(addr, coreDown[xx][jj][p])
+				}
+			}
+		}
+	}
+	return ft
+}
+
+// NumHosts returns k³/4.
+func (ft *FatTree) NumHosts() int { return len(ft.HostList) }
+
+// Alias returns host h's a-th address (a < AliasesPerHost).
+func (ft *FatTree) Alias(h *netem.Host, a int) netem.Addr {
+	return h.Addrs()[a%len(h.Addrs())]
+}
+
+// Categorize classifies the locality of a host pair by index.
+func (ft *FatTree) Categorize(src, dst int) Category {
+	switch {
+	case ft.hostPod[src] != ft.hostPod[dst]:
+		return InterPod
+	case ft.hostEdge[src] != ft.hostEdge[dst]:
+		return InterRack
+	default:
+		return InnerRack
+	}
+}
+
+// SameRack reports whether two hosts share an edge switch.
+func (ft *FatTree) SameRack(src, dst int) bool { return ft.Categorize(src, dst) == InnerRack }
+
+// HostIndexOf returns the index of host h in HostList, or -1.
+func (ft *FatTree) HostIndexOf(h *netem.Host) int {
+	for i, hh := range ft.HostList {
+		if hh == h {
+			return i
+		}
+	}
+	return -1
+}

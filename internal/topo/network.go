@@ -1,0 +1,194 @@
+// Package topo builds the simulated networks of the paper's evaluation:
+// the single-bottleneck dumbbell of Figure 1, the two DummyNet testbeds of
+// Figure 3, the five-bottleneck torus of Figure 5, and the k-ary Fat-Tree
+// with two-level routing and multi-address hosts of Section 5.2.
+package topo
+
+import (
+	"fmt"
+
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// Link layer labels used for utilization reporting (Figure 11).
+const (
+	LayerRack        = "rack"
+	LayerAggregation = "aggregation"
+	LayerCore        = "core"
+	LayerEdge        = "edge"       // host-side plumbing in small topologies
+	LayerBottleneck  = "bottleneck" // the constrained links in small topologies
+)
+
+// QueueMaker builds a fresh queue discipline for each link egress.
+type QueueMaker func() netem.Queue
+
+// DropTailMaker returns a QueueMaker producing drop-tail queues of the
+// given limit.
+func DropTailMaker(limit int) QueueMaker {
+	return func() netem.Queue { return netem.NewDropTail(limit) }
+}
+
+// ECNMaker returns a QueueMaker producing instantaneous-threshold marking
+// queues (limit packets, marking threshold k). Non-ECT packets use the
+// whole buffer (tail drop only).
+func ECNMaker(limit, k int) QueueMaker {
+	return func() netem.Queue { return netem.NewThresholdECN(limit, k) }
+}
+
+// ECNStrictMaker is ECNMaker with RED-faithful non-ECT handling: non-ECT
+// packets are dropped above k, as a RED/ECN switch with MinTh=MaxTh=K
+// does.
+func ECNStrictMaker(limit, k int) QueueMaker {
+	return func() netem.Queue {
+		q := netem.NewThresholdECN(limit, k)
+		q.DropNonECT = true
+		return q
+	}
+}
+
+// DefaultHostQueue is the drop-tail depth of host NICs; deep enough that
+// the constrained switch queues, not the hosts, shape the experiments.
+const DefaultHostQueue = 4096
+
+// LinkInfo records a constructed link with its layer label.
+type LinkInfo struct {
+	*netem.Link
+	Layer string
+}
+
+// Network owns the nodes, links and identifier spaces of one simulated
+// topology.
+type Network struct {
+	Eng      *sim.Engine
+	Hosts    []*netem.Host
+	Switches []*netem.Switch
+	links    []LinkInfo
+
+	addrHost map[netem.Addr]*netem.Host
+	nextAddr netem.Addr
+	nextConn netem.ConnID
+	nextNode netem.NodeID
+}
+
+// NewNetwork returns an empty network bound to eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{
+		Eng:      eng,
+		addrHost: make(map[netem.Addr]*netem.Host),
+		nextAddr: 1, // 0 is reserved as "unset"
+		nextConn: 1,
+	}
+}
+
+// NewHost creates and registers a host with one primary address.
+func (n *Network) NewHost(name string) *netem.Host {
+	n.nextNode++
+	h := netem.NewHost(n.Eng, n.nextNode, name)
+	n.Hosts = append(n.Hosts, h)
+	n.AddAddr(h)
+	return h
+}
+
+// NewSwitch creates and registers a switch tagged with a layer.
+func (n *Network) NewSwitch(name, layer string) *netem.Switch {
+	n.nextNode++
+	s := netem.NewSwitch(n.nextNode, name, layer)
+	n.Switches = append(n.Switches, s)
+	return s
+}
+
+// AddAddr allocates a fresh address and attaches it to h.
+func (n *Network) AddAddr(h *netem.Host) netem.Addr {
+	a := n.nextAddr
+	n.nextAddr++
+	h.AddAddr(a)
+	n.addrHost[a] = h
+	return a
+}
+
+// HostByAddr resolves an address to its owner.
+func (n *Network) HostByAddr(a netem.Addr) *netem.Host { return n.addrHost[a] }
+
+// NextConnID allocates a connection identifier.
+func (n *Network) NextConnID() netem.ConnID {
+	id := n.nextConn
+	n.nextConn++
+	return id
+}
+
+// AddLink builds a link, registers it under the given layer label and
+// returns it.
+func (n *Network) AddLink(name string, capacity netem.Bps, delay sim.Duration, q netem.Queue, dst netem.Receiver, layer string) *netem.Link {
+	l := netem.NewLink(n.Eng, name, capacity, delay, q, dst)
+	n.links = append(n.links, LinkInfo{Link: l, Layer: layer})
+	return l
+}
+
+// AttachHost wires h to sw with a bidirectional pair of links: the host
+// NIC (host->switch) and the switch port (switch->host). Both use the
+// given capacity, one-way delay, and queue discipline — matching NS-3,
+// where the queue (the paper's marking queue) is installed on every
+// point-to-point device, host NICs included. Without marking at the NIC a
+// sender on an end-to-end equal-speed path would never see congestion
+// feedback until its self-inflicted NIC backlog overflows.
+func (n *Network) AttachHost(h *netem.Host, sw *netem.Switch, capacity netem.Bps, delay sim.Duration, qm QueueMaker, layer string) {
+	nic := n.AddLink(h.Name+"->"+sw.Name, capacity, delay, qm(), sw, layer)
+	h.AttachNIC(nic)
+	down := n.AddLink(sw.Name+"->"+h.Name, capacity, delay, qm(), h, layer)
+	for _, a := range h.Addrs() {
+		sw.AddRoute(a, down)
+	}
+}
+
+// RouteHostAddrs adds routes on sw for every address of h via out. Used
+// when a host hangs off a different switch.
+func RouteHostAddrs(sw *netem.Switch, h *netem.Host, out *netem.Link) {
+	for _, a := range h.Addrs() {
+		sw.AddRoute(a, out)
+	}
+}
+
+// Links returns every link with its layer label.
+func (n *Network) Links() []LinkInfo { return n.links }
+
+// LinksByLayer returns the links labelled with layer.
+func (n *Network) LinksByLayer(layer string) []*netem.Link {
+	var out []*netem.Link
+	for _, li := range n.links {
+		if li.Layer == layer {
+			out = append(out, li.Link)
+		}
+	}
+	return out
+}
+
+// TotalQueueStats sums the queue statistics of all links in a layer.
+func (n *Network) TotalQueueStats(layer string) netem.QueueStats {
+	var total netem.QueueStats
+	for _, li := range n.links {
+		if li.Layer != layer {
+			continue
+		}
+		st := li.Queue().Stats()
+		total.EnqueuedPackets += st.EnqueuedPackets
+		total.DroppedPackets += st.DroppedPackets
+		total.MarkedPackets += st.MarkedPackets
+		if st.MaxLen > total.MaxLen {
+			total.MaxLen = st.MaxLen
+		}
+	}
+	return total
+}
+
+// CheckRoutingSanity panics if any switch recorded unroutable packets or
+// TTL-expired drops — both indicate topology construction bugs, not
+// network behaviour.
+func (n *Network) CheckRoutingSanity() {
+	for _, s := range n.Switches {
+		if s.Unroutable() > 0 || s.LoopDrops() > 0 {
+			panic(fmt.Sprintf("topo: switch %s dropped %d unroutable / %d looping packets",
+				s.Name, s.Unroutable(), s.LoopDrops()))
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package topo
+
+import (
+	"fmt"
+
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// VL2Config parameterizes a VL2-style Clos network (Greenberg et al.,
+// SIGCOMM 2009 — reference [13] of the paper, the other canonical
+// multi-rooted DCN architecture). Servers hang off ToR switches at
+// ServerCapacity; each ToR uplinks to two aggregation switches at
+// FabricCapacity; every aggregation switch connects to every intermediate
+// switch, forming the Clos over which VL2 Valiant-load-balances.
+//
+// Here the paper's multi-address trick plays the VLB role: alias a of a
+// server routes up through (ToR uplink a mod 2, intermediate (a/2) mod
+// NumIntermediate), so single-path flows spread deterministically and
+// MPTCP subflows take disjoint fabric paths.
+type VL2Config struct {
+	// NumIntermediate is the number of intermediate (core) switches.
+	NumIntermediate int
+	// NumAggregation is the number of aggregation switches (even; each
+	// ToR picks two).
+	NumAggregation int
+	// NumToR is the number of top-of-rack switches.
+	NumToR int
+	// ServersPerToR is the rack size.
+	ServersPerToR int
+	// AliasesPerServer controls path diversity (2×NumIntermediate covers
+	// every fabric path).
+	AliasesPerServer int
+	// ServerCapacity is the server-ToR rate (1 Gbps in VL2).
+	ServerCapacity netem.Bps
+	// FabricCapacity is the ToR-Agg and Agg-Int rate (10 Gbps in VL2).
+	FabricCapacity netem.Bps
+	// RackDelay/FabricDelay are one-way link delays.
+	RackDelay, FabricDelay sim.Duration
+	// SwitchQueue builds every queue.
+	SwitchQueue QueueMaker
+}
+
+// DefaultVL2Config returns a laptop-scale VL2: 4 intermediates, 4
+// aggregates, 8 ToRs x 4 servers = 32 servers.
+func DefaultVL2Config(qm QueueMaker) VL2Config {
+	return VL2Config{
+		NumIntermediate:  4,
+		NumAggregation:   4,
+		NumToR:           8,
+		ServersPerToR:    4,
+		AliasesPerServer: 8,
+		ServerCapacity:   netem.Gbps,
+		FabricCapacity:   10 * netem.Gbps,
+		RackDelay:        20 * sim.Microsecond,
+		FabricDelay:      30 * sim.Microsecond,
+		SwitchQueue:      qm,
+	}
+}
+
+// VL2 is the constructed topology.
+type VL2 struct {
+	*Network
+	Cfg VL2Config
+
+	Servers      []*netem.Host
+	ToR          []*netem.Switch
+	Agg          []*netem.Switch
+	Intermediate []*netem.Switch
+
+	serverToR []int
+}
+
+// NewVL2 builds the topology.
+func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
+	if cfg.SwitchQueue == nil {
+		panic("topo: VL2 needs a switch queue maker")
+	}
+	if cfg.NumAggregation < 2 || cfg.NumAggregation%2 != 0 {
+		panic("topo: VL2 needs an even number (>= 2) of aggregation switches")
+	}
+	if cfg.NumIntermediate < 1 || cfg.NumToR < 1 || cfg.ServersPerToR < 1 {
+		panic("topo: VL2 dimensions must be positive")
+	}
+	if cfg.AliasesPerServer < 1 {
+		cfg.AliasesPerServer = 1
+	}
+	n := NewNetwork(eng)
+	v := &VL2{Network: n, Cfg: cfg}
+
+	for i := 0; i < cfg.NumIntermediate; i++ {
+		v.Intermediate = append(v.Intermediate, n.NewSwitch(fmt.Sprintf("int%d", i), LayerCore))
+	}
+	for a := 0; a < cfg.NumAggregation; a++ {
+		v.Agg = append(v.Agg, n.NewSwitch(fmt.Sprintf("agg%d", a), LayerAggregation))
+	}
+	for t := 0; t < cfg.NumToR; t++ {
+		v.ToR = append(v.ToR, n.NewSwitch(fmt.Sprintf("tor%d", t), LayerRack))
+	}
+
+	// Agg <-> Intermediate full mesh.
+	aggUp := make([][]*netem.Link, cfg.NumAggregation) // [a][i]
+	intDown := make([][]*netem.Link, cfg.NumIntermediate)
+	for i := range intDown {
+		intDown[i] = make([]*netem.Link, cfg.NumAggregation)
+	}
+	for a := 0; a < cfg.NumAggregation; a++ {
+		aggUp[a] = make([]*netem.Link, cfg.NumIntermediate)
+		for i := 0; i < cfg.NumIntermediate; i++ {
+			aggUp[a][i] = n.AddLink(fmt.Sprintf("agg%d->int%d", a, i),
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.Intermediate[i], LayerCore)
+			intDown[i][a] = n.AddLink(fmt.Sprintf("int%d->agg%d", i, a),
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.Agg[a], LayerCore)
+		}
+	}
+
+	// ToR <-> Agg: ToR t uplinks to aggregation pair (2t, 2t+1) mod NA.
+	torUp := make([][2]*netem.Link, cfg.NumToR)
+	aggDown := make([][]*netem.Link, cfg.NumAggregation) // [a][t]
+	for a := range aggDown {
+		aggDown[a] = make([]*netem.Link, cfg.NumToR)
+	}
+	torAgg := func(t, side int) int { return (2*t + side) % cfg.NumAggregation }
+	for t := 0; t < cfg.NumToR; t++ {
+		for side := 0; side < 2; side++ {
+			a := torAgg(t, side)
+			torUp[t][side] = n.AddLink(fmt.Sprintf("tor%d->agg%d", t, a),
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.Agg[a], LayerAggregation)
+			aggDown[a][t] = n.AddLink(fmt.Sprintf("agg%d->tor%d", a, t),
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.ToR[t], LayerAggregation)
+		}
+	}
+
+	// Servers.
+	for t := 0; t < cfg.NumToR; t++ {
+		for s := 0; s < cfg.ServersPerToR; s++ {
+			h := n.NewHost(fmt.Sprintf("srv%d.%d", t, s))
+			for a := 1; a < cfg.AliasesPerServer; a++ {
+				n.AddAddr(h)
+			}
+			n.AttachHost(h, v.ToR[t], cfg.ServerCapacity, cfg.RackDelay, cfg.SwitchQueue, LayerRack)
+			v.Servers = append(v.Servers, h)
+			v.serverToR = append(v.serverToR, t)
+		}
+	}
+
+	// Routing: for each (server, alias) address, the upward path digits.
+	for idx, h := range v.Servers {
+		t := v.serverToR[idx]
+		for a, addr := range h.Addrs() {
+			side := (idx + a) % 2
+			im := (idx + a) % cfg.NumIntermediate
+			homeAggs := [2]int{torAgg(t, 0), torAgg(t, 1)}
+			for tt := 0; tt < cfg.NumToR; tt++ {
+				if tt == t {
+					continue // home ToR routes directly (AttachHost)
+				}
+				v.ToR[tt].AddRoute(addr, torUp[tt][side])
+			}
+			for aa := 0; aa < cfg.NumAggregation; aa++ {
+				if aa == homeAggs[0] || aa == homeAggs[1] {
+					// Downhill toward the home ToR.
+					v.Agg[aa].AddRoute(addr, aggDown[aa][t])
+				} else {
+					v.Agg[aa].AddRoute(addr, aggUp[aa][im])
+				}
+			}
+			for ii := 0; ii < cfg.NumIntermediate; ii++ {
+				// Downhill via the home agg on the address's side.
+				v.Intermediate[ii].AddRoute(addr, intDown[ii][homeAggs[side]])
+			}
+		}
+	}
+	return v
+}
+
+// NumServers returns the host count.
+func (v *VL2) NumServers() int { return len(v.Servers) }
+
+// Alias returns server h's a-th address.
+func (v *VL2) Alias(h *netem.Host, a int) netem.Addr { return h.Addrs()[a%len(h.Addrs())] }
+
+// SameRack reports whether two servers share a ToR.
+func (v *VL2) SameRack(i, j int) bool { return v.serverToR[i] == v.serverToR[j] }

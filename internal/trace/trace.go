@@ -1,0 +1,136 @@
+// Package trace provides lightweight periodic probing of simulation state
+// — congestion windows, queue occupancies, instantaneous rates — recorded
+// as time series and exportable as CSV. It is the observability layer the
+// examples and the CLI's -trace flag use to produce plot-ready data.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmp/internal/cc"
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// Probe samples one scalar each tick.
+type Probe struct {
+	Name string
+	Fn   func() float64
+}
+
+// QueueLen probes a link's instantaneous queue occupancy in packets.
+func QueueLen(name string, l *netem.Link) Probe {
+	return Probe{Name: name, Fn: func() float64 { return float64(l.Queue().Len()) }}
+}
+
+// Cwnd probes a controller's congestion window in segments.
+func Cwnd(name string, ctrl cc.Controller) Probe {
+	return Probe{Name: name, Fn: func() float64 { return float64(ctrl.Window()) }}
+}
+
+// Counter probes the delta of a monotone counter per tick (e.g. acked
+// bytes), yielding a rate when divided by the tick length.
+func Counter(name string, read func() int64) Probe {
+	var last int64
+	return Probe{Name: name, Fn: func() float64 {
+		v := read()
+		d := v - last
+		last = v
+		return float64(d)
+	}}
+}
+
+// Recorder samples its probes at a fixed interval.
+type Recorder struct {
+	eng      *sim.Engine
+	interval sim.Duration
+	probes   []Probe
+	times    []sim.Time
+	rows     [][]float64
+	running  bool
+}
+
+// NewRecorder returns a stopped recorder sampling every interval.
+func NewRecorder(eng *sim.Engine, interval sim.Duration) *Recorder {
+	if interval <= 0 {
+		panic("trace: interval must be positive")
+	}
+	return &Recorder{eng: eng, interval: interval}
+}
+
+// Add registers a probe; must be called before Start.
+func (r *Recorder) Add(p Probe) *Recorder {
+	if r.running {
+		panic("trace: Add after Start")
+	}
+	if p.Fn == nil {
+		panic("trace: probe with nil Fn")
+	}
+	r.probes = append(r.probes, p)
+	return r
+}
+
+// Start begins sampling now and stops after until.
+func (r *Recorder) Start(until sim.Time) {
+	if r.running {
+		panic("trace: already started")
+	}
+	r.running = true
+	var tick func()
+	tick = func() {
+		row := make([]float64, len(r.probes))
+		for i, p := range r.probes {
+			row[i] = p.Fn()
+		}
+		r.times = append(r.times, r.eng.Now())
+		r.rows = append(r.rows, row)
+		if r.eng.Now() < until {
+			r.eng.Schedule(r.interval, tick)
+		}
+	}
+	r.eng.Schedule(r.interval, tick)
+}
+
+// Samples returns the number of rows recorded.
+func (r *Recorder) Samples() int { return len(r.rows) }
+
+// Columns returns the probe names in row order.
+func (r *Recorder) Columns() []string {
+	names := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Row returns (time, values) of sample i.
+func (r *Recorder) Row(i int) (sim.Time, []float64) { return r.times[i], r.rows[i] }
+
+// WriteCSV emits "time_s,<probe>,..." rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cols := make([]string, 0, len(r.probes)+1)
+	cols = append(cols, "time_s")
+	for _, p := range r.probes {
+		cols = append(cols, sanitize(p.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, t := range r.times {
+		parts := make([]string, 0, len(r.probes)+1)
+		parts = append(parts, fmt.Sprintf("%.6f", t.Seconds()))
+		for _, v := range r.rows[i] {
+			parts = append(parts, fmt.Sprintf("%g", v))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.NewReplacer(",", "_", "\n", "_", "\"", "_").Replace(s)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+type nullRecv struct{}
+
+func (nullRecv) Receive(*netem.Packet) {}
+
+func TestRecorderSamplesAtInterval(t *testing.T) {
+	eng := sim.NewEngine()
+	v := 0.0
+	r := NewRecorder(eng, sim.Millisecond)
+	r.Add(Probe{Name: "v", Fn: func() float64 { v++; return v }})
+	r.Start(sim.Time(5 * sim.Millisecond))
+	eng.Run(sim.MaxTime)
+	if r.Samples() != 5 {
+		t.Fatalf("samples %d, want 5", r.Samples())
+	}
+	tm, row := r.Row(2)
+	if tm != sim.Time(3*sim.Millisecond) || row[0] != 3 {
+		t.Fatalf("row 2 = (%v, %v)", tm, row)
+	}
+	if r.Columns()[0] != "v" {
+		t.Fatal("columns wrong")
+	}
+}
+
+func TestCounterProbeDeltas(t *testing.T) {
+	total := int64(0)
+	p := Counter("bytes", func() int64 { return total })
+	total = 100
+	if got := p.Fn(); got != 100 {
+		t.Fatalf("first delta %v", got)
+	}
+	total = 250
+	if got := p.Fn(); got != 150 {
+		t.Fatalf("second delta %v", got)
+	}
+}
+
+func TestQueueLenProbe(t *testing.T) {
+	eng := sim.NewEngine()
+	q := netem.NewDropTail(10)
+	l := netem.NewLink(eng, "l", netem.Mbps, 0, q, nullRecv{})
+	p := QueueLen("q", l)
+	l.Send(netem.NewDataPacket(1, 0, 1, 0, netem.MSS, false))
+	l.Send(netem.NewDataPacket(1, 0, 1, 1, netem.MSS, false))
+	// One packet in transmission, one queued.
+	if got := p.Fn(); got != 1 {
+		t.Fatalf("queue probe %v, want 1", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, sim.Millisecond)
+	r.Add(Probe{Name: "a,b", Fn: func() float64 { return 1.5 }})
+	r.Add(Probe{Name: "c", Fn: func() float64 { return 2 }})
+	r.Start(sim.Time(2 * sim.Millisecond))
+	eng.Run(sim.MaxTime)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "time_s,a_b,c" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "0.001000,1.5,2" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestRecorderMisusePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero interval", func() { NewRecorder(eng, 0) })
+	mustPanic("nil probe", func() { NewRecorder(eng, 1).Add(Probe{Name: "x"}) })
+	r := NewRecorder(eng, sim.Millisecond)
+	r.Start(0)
+	mustPanic("double start", func() { r.Start(0) })
+	mustPanic("add after start", func() { r.Add(Probe{Name: "y", Fn: func() float64 { return 0 }}) })
+}

@@ -1,0 +1,692 @@
+package transport
+
+import (
+	"fmt"
+
+	"xmp/internal/cc"
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+)
+
+// State is the lifecycle state of a connection.
+type State int
+
+// Connection lifecycle states.
+const (
+	StateIdle State = iota
+	StateSynSent
+	StateEstablished
+	StateDone
+	StateFailed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateSynSent:
+		return "syn-sent"
+	case StateEstablished:
+		return "established"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a connection.
+type Options struct {
+	ID       netem.ConnID
+	Src, Dst *netem.Host
+	// SrcAddr/DstAddr select which host addresses the connection runs
+	// between; in the Fat-Tree the destination alias determines the path.
+	// Zero values default to each host's primary address.
+	SrcAddr, DstAddr netem.Addr
+	Controller       cc.Controller
+	Config           Config
+	Supply           Supply
+	// Member is the coupling-group slot for multipath flows; nil for
+	// single-path connections.
+	Member *cc.Member
+	// OnComplete fires once when every supplied byte has been
+	// acknowledged.
+	OnComplete func(*Conn)
+	// OnProgress fires on every ACK that newly acknowledges data.
+	OnProgress func(now sim.Time, ackedBytes int)
+	// OnRTTSample fires for every RTT measurement (Figure 10 data).
+	OnRTTSample func(rtt sim.Duration)
+}
+
+// Stats aggregates a connection's counters.
+type Stats struct {
+	SentSegments    int64
+	RetransSegments int64
+	Timeouts        int64
+	FastRetransmits int64
+	AckedBytes      int64
+	RcvdBytes       int64
+	DupAcksSeen     int64
+}
+
+// Conn is one unidirectional TCP data transfer from Src to Dst. A single
+// Conn object holds both endpoint state machines (the simulation is
+// single-threaded); each host's demux delivers into the proper half.
+type Conn struct {
+	id   netem.ConnID
+	eng  *sim.Engine
+	cfg  Config
+	ctrl cc.Controller
+	src  *netem.Host
+	dst  *netem.Host
+
+	srcAddr, dstAddr netem.Addr
+	supply           Supply
+	member           *cc.Member
+
+	onComplete  func(*Conn)
+	onProgress  func(sim.Time, int)
+	onRTTSample func(sim.Duration)
+
+	state       State
+	startTime   sim.Time
+	establishAt sim.Time
+	doneAt      sim.Time
+
+	// Sender half.
+	sndUna, sndNxt int64
+	suppliedEnd    int64
+	exhausted      bool
+	shortSegs      map[int64]int
+	dupAcks        int
+	inRecovery     bool
+	recoverSeq     int64
+	pendingCWR     bool
+	rtt            rttEstimator
+	rtoTimer       *sim.Timer
+	retries        int
+	stats          Stats
+	// SACK scoreboard: segments above snd_una the receiver reported
+	// holding, and the recovery cursor for hole retransmission.
+	sacked     rangeSet
+	holeCursor int64
+
+	// Receiver half.
+	rcvNxt        int64
+	ooo           rangeSet // received segments above rcvNxt
+	pendingCE     int      // EchoCounter backlog
+	ceAccum       int      // EchoDCTCP per-ack count
+	eceLatched    bool     // EchoStandard latch
+	delayCount    int
+	delAckTimer   *sim.Timer
+	lastTriggerTS int64
+}
+
+// senderHalf and receiverHalf adapt the two ends of a Conn to the host
+// demultiplexer.
+type senderHalf struct{ c *Conn }
+
+func (h senderHalf) Deliver(p *netem.Packet) { h.c.senderDeliver(p) }
+
+type receiverHalf struct{ c *Conn }
+
+func (h receiverHalf) Deliver(p *netem.Packet) { h.c.receiverDeliver(p) }
+
+// NewConn builds a connection and registers both halves with their hosts.
+// Call Start to begin the handshake.
+func NewConn(eng *sim.Engine, opts Options) *Conn {
+	if err := opts.Config.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.Controller == nil {
+		panic("transport: nil controller")
+	}
+	if opts.Supply == nil {
+		panic("transport: nil supply")
+	}
+	if opts.Src == nil || opts.Dst == nil {
+		panic("transport: nil host")
+	}
+	if opts.Src == opts.Dst {
+		panic("transport: loopback connections are not modelled")
+	}
+	c := &Conn{
+		id:          opts.ID,
+		eng:         eng,
+		cfg:         opts.Config,
+		ctrl:        opts.Controller,
+		src:         opts.Src,
+		dst:         opts.Dst,
+		srcAddr:     opts.SrcAddr,
+		dstAddr:     opts.DstAddr,
+		supply:      opts.Supply,
+		member:      opts.Member,
+		onComplete:  opts.OnComplete,
+		onProgress:  opts.OnProgress,
+		onRTTSample: opts.OnRTTSample,
+		shortSegs:   make(map[int64]int),
+		rtt:         newRTTEstimator(opts.Config),
+	}
+	if c.srcAddr == 0 && len(opts.Src.Addrs()) > 0 {
+		c.srcAddr = opts.Src.PrimaryAddr()
+	}
+	if c.dstAddr == 0 && len(opts.Dst.Addrs()) > 0 {
+		c.dstAddr = opts.Dst.PrimaryAddr()
+	}
+	c.rtoTimer = sim.NewTimer(eng, c.onRTO)
+	c.delAckTimer = sim.NewTimer(eng, c.onDelAckTimeout)
+	opts.Src.Register(c.id, senderHalf{c})
+	opts.Dst.Register(c.id, receiverHalf{c})
+	return c
+}
+
+// ID returns the connection identifier.
+func (c *Conn) ID() netem.ConnID { return c.id }
+
+// State returns the lifecycle state.
+func (c *Conn) State() State { return c.state }
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Controller exposes the congestion controller (for experiment probes).
+func (c *Conn) Controller() cc.Controller { return c.ctrl }
+
+// SRTT returns the sender's smoothed RTT estimate.
+func (c *Conn) SRTT() sim.Duration { return c.rtt.SRTT() }
+
+// AckedBytes returns the application bytes acknowledged so far.
+func (c *Conn) AckedBytes() int64 { return c.stats.AckedBytes }
+
+// StartTime returns when Start was called.
+func (c *Conn) StartTime() sim.Time { return c.startTime }
+
+// CompletionTime returns when the transfer finished (valid in StateDone).
+func (c *Conn) CompletionTime() sim.Time { return c.doneAt }
+
+// SrcAddr returns the sender-side address.
+func (c *Conn) SrcAddr() netem.Addr { return c.srcAddr }
+
+// DstAddr returns the receiver-side address (selects the path).
+func (c *Conn) DstAddr() netem.Addr { return c.dstAddr }
+
+// StopSending cuts the connection off from its supply: no new segments
+// are pulled, and the transfer completes once everything outstanding is
+// acknowledged. Used by the experiments that stop long-lived flows on a
+// schedule.
+func (c *Conn) StopSending() {
+	c.exhausted = true
+	c.maybeComplete()
+}
+
+// Start begins the handshake now.
+func (c *Conn) Start() {
+	if c.state != StateIdle {
+		panic(fmt.Sprintf("transport: Start in state %v", c.state))
+	}
+	c.state = StateSynSent
+	c.startTime = c.eng.Now()
+	c.sendSYN()
+}
+
+func (c *Conn) sendSYN() {
+	p := netem.NewControlPacket(c.id, c.srcAddr, c.dstAddr, true, c.ctrl.ECNCapable())
+	p.SendTime = int64(c.eng.Now())
+	c.src.Send(p)
+	c.rtoTimer.Reset(c.rtt.RTO())
+}
+
+// --- Sender half ---
+
+func (c *Conn) senderDeliver(p *netem.Packet) {
+	if c.state == StateDone || c.state == StateFailed {
+		return
+	}
+	if p.SYN && p.IsAck {
+		if c.state == StateSynSent {
+			c.state = StateEstablished
+			c.establishAt = c.eng.Now()
+			c.retries = 0
+			if p.EchoTime >= 0 {
+				c.sampleRTT(sim.Duration(int64(c.eng.Now()) - p.EchoTime))
+			}
+			c.rtoTimer.Stop()
+			c.publishMember()
+			c.trySend()
+			c.maybeComplete()
+		}
+		return
+	}
+	if !p.IsAck {
+		return
+	}
+	now := c.eng.Now()
+	c.ingestSACK(p)
+	switch {
+	case p.Ack > c.sndUna:
+		newly := p.Ack - c.sndUna
+		var newlyBytes int64
+		for s := c.sndUna; s < p.Ack; s++ {
+			newlyBytes += int64(c.payloadOf(s))
+			delete(c.shortSegs, s)
+		}
+		c.sndUna = p.Ack
+		if c.sndNxt < c.sndUna {
+			// After an RTO rewind the receiver may cumulatively ACK past
+			// snd_nxt (it already held the rewound segments); resume
+			// sending from the ACK point.
+			c.sndNxt = c.sndUna
+		}
+		c.sacked.TrimBelow(c.sndUna)
+		c.dupAcks = 0
+		c.retries = 0
+		if p.EchoTime >= 0 {
+			c.sampleRTT(sim.Duration(int64(now) - p.EchoTime))
+		}
+		retransmitted := false
+		if c.inRecovery {
+			if c.sndUna > c.recoverSeq {
+				c.inRecovery = false
+			} else if c.retransmitHole() {
+				retransmitted = true
+			} else if !c.cfg.EnableSACK || c.sndUna >= c.holeCursor {
+				// NewReno partial ack: retransmit the next hole — unless
+				// the SACK cursor already retransmitted it and it is
+				// still in flight (the RTO remains the backstop).
+				c.resend(c.sndUna)
+				c.holeCursor = c.sndUna + 1
+				retransmitted = true
+			}
+		}
+		if c.cfg.EchoMode == cc.EchoStandard && p.ECNEcho > 0 {
+			c.pendingCWR = true
+		}
+		c.ctrl.OnAck(cc.Ack{
+			Now:        now,
+			NewlyAcked: newly,
+			SndUna:     c.sndUna,
+			SndNxt:     c.sndNxt,
+			ECNEcho:    p.ECNEcho,
+			SRTT:       c.rtt.SRTT(),
+		})
+		c.stats.AckedBytes += newlyBytes
+		c.publishMember()
+		if c.onProgress != nil && newlyBytes > 0 {
+			c.onProgress(now, int(newlyBytes))
+		}
+		// Packet conservation during recovery: an ACK that already
+		// released a retransmission does not also release new data.
+		if !retransmitted {
+			c.trySend()
+		}
+		if c.maybeComplete() {
+			return
+		}
+		if c.sndNxt > c.sndUna {
+			c.rtoTimer.Reset(c.rtt.RTO())
+		} else {
+			c.rtoTimer.Stop()
+		}
+
+	case p.Ack == c.sndUna && c.sndNxt > c.sndUna:
+		c.stats.DupAcksSeen++
+		c.dupAcks++
+		if c.cfg.EchoMode == cc.EchoStandard && p.ECNEcho > 0 {
+			c.pendingCWR = true
+		}
+		// Congestion feedback can ride duplicate ACKs; deliver it with
+		// NewlyAcked=0 so marks are never lost during reordering.
+		c.ctrl.OnAck(cc.Ack{
+			Now:     now,
+			SndUna:  c.sndUna,
+			SndNxt:  c.sndNxt,
+			ECNEcho: p.ECNEcho,
+			SRTT:    c.rtt.SRTT(),
+		})
+		c.ctrl.OnDupAck(c.dupAcks)
+		retransmitted := false
+		if c.dupAcks == 3 && !c.inRecovery {
+			c.inRecovery = true
+			c.recoverSeq = c.sndNxt - 1
+			c.holeCursor = c.sndUna
+			c.stats.FastRetransmits++
+			c.ctrl.OnFastRetransmit()
+			if !c.retransmitHole() {
+				c.resend(c.sndUna)
+			}
+			retransmitted = true
+			c.rtoTimer.Reset(c.rtt.RTO())
+		} else if c.inRecovery {
+			// SACK recovery: each further duplicate ACK may release one
+			// more hole retransmission (packet conservation: the ACK's
+			// budget goes to the retransmit, not to new data).
+			retransmitted = c.retransmitHole()
+		}
+		c.publishMember()
+		if !retransmitted {
+			c.trySend()
+		}
+	}
+}
+
+// ingestSACK folds an ACK's SACK blocks into the scoreboard.
+func (c *Conn) ingestSACK(p *netem.Packet) {
+	if !c.cfg.EnableSACK || p.SACKCount == 0 {
+		return
+	}
+	for i := 0; i < p.SACKCount; i++ {
+		c.sacked.Add(p.SACK[i][0], p.SACK[i][1])
+	}
+	c.sacked.TrimBelow(c.sndUna)
+}
+
+// pipe estimates the segments in flight: outstanding minus those the
+// receiver reported holding. Without SACK it is simply the outstanding
+// count.
+func (c *Conn) pipe() int64 {
+	return (c.sndNxt - c.sndUna) - c.sacked.Count()
+}
+
+// retransmitHole resends the earliest unSACKed segment at or above the
+// recovery cursor, advancing the cursor. Returns false when the
+// scoreboard offers no actionable hole (non-SACK connections always
+// return false and fall back to NewReno behaviour).
+func (c *Conn) retransmitHole() bool {
+	if !c.cfg.EnableSACK || c.sacked.Empty() {
+		return false
+	}
+	from := c.holeCursor
+	if from < c.sndUna {
+		from = c.sndUna
+	}
+	hole, ok := c.sacked.FirstHoleAbove(from)
+	if !ok || hole >= c.sndNxt {
+		return false
+	}
+	c.resend(hole)
+	c.holeCursor = hole + 1
+	return true
+}
+
+func (c *Conn) sampleRTT(rtt sim.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	c.rtt.addSample(rtt)
+	if c.onRTTSample != nil {
+		c.onRTTSample(rtt)
+	}
+}
+
+// payloadOf returns the application bytes carried by segment seq.
+func (c *Conn) payloadOf(seq int64) int {
+	if b, ok := c.shortSegs[seq]; ok {
+		return b
+	}
+	return netem.MSS
+}
+
+func (c *Conn) trySend() {
+	if c.state != StateEstablished {
+		return
+	}
+	cwnd := int64(c.ctrl.Window())
+	burst := c.cfg.MaxBurst
+	if burst <= 0 {
+		burst = 8
+	}
+	for c.pipe() < cwnd && burst > 0 {
+		payload, ok := c.nextPayload()
+		if !ok {
+			break
+		}
+		c.sendSegment(c.sndNxt, payload, false)
+		c.sndNxt++
+		burst--
+	}
+	if c.sndNxt > c.sndUna && !c.rtoTimer.Armed() {
+		c.rtoTimer.Reset(c.rtt.RTO())
+	}
+}
+
+// nextPayload returns the payload of segment sndNxt, pulling from the
+// supply if this sequence number has never been sent before.
+func (c *Conn) nextPayload() (int, bool) {
+	if c.sndNxt < c.suppliedEnd {
+		return c.payloadOf(c.sndNxt), true
+	}
+	if c.exhausted {
+		return 0, false
+	}
+	payload, ok := c.supply.Next()
+	if !ok {
+		c.exhausted = true
+		return 0, false
+	}
+	if payload <= 0 || payload > netem.MSS {
+		panic(fmt.Sprintf("transport: supply returned payload %d", payload))
+	}
+	if payload != netem.MSS {
+		c.shortSegs[c.suppliedEnd] = payload
+	}
+	c.suppliedEnd++
+	return payload, true
+}
+
+func (c *Conn) sendSegment(seq int64, payload int, retrans bool) {
+	p := netem.NewDataPacket(c.id, c.srcAddr, c.dstAddr, seq, payload, c.ctrl.ECNCapable())
+	p.SendTime = int64(c.eng.Now())
+	if c.pendingCWR {
+		p.CWR = true
+		c.pendingCWR = false
+	}
+	if retrans {
+		c.stats.RetransSegments++
+	} else {
+		c.stats.SentSegments++
+	}
+	c.src.Send(p)
+}
+
+func (c *Conn) resend(seq int64) {
+	c.sendSegment(seq, c.payloadOf(seq), true)
+}
+
+func (c *Conn) onRTO() {
+	switch c.state {
+	case StateSynSent:
+		c.retries++
+		if c.cfg.MaxRetries > 0 && c.retries > c.cfg.MaxRetries {
+			c.fail()
+			return
+		}
+		c.rtt.backoff()
+		c.sendSYN()
+	case StateEstablished:
+		if c.sndNxt == c.sndUna {
+			return // nothing outstanding; stale timer
+		}
+		c.retries++
+		if c.cfg.MaxRetries > 0 && c.retries > c.cfg.MaxRetries {
+			c.fail()
+			return
+		}
+		c.stats.Timeouts++
+		c.ctrl.OnRetransmitTimeout()
+		c.publishMember()
+		c.inRecovery = false
+		c.dupAcks = 0
+		// Conservatively forget SACK state: the wholesale rewind below
+		// resends from snd_una regardless.
+		c.sacked.Clear()
+		c.holeCursor = 0
+		// Go-back-N restart: rewind snd_nxt; already-supplied segments are
+		// resent from local state without consuming the supply again.
+		c.sndNxt = c.sndUna
+		c.rtt.backoff()
+		c.resend(c.sndUna)
+		c.sndNxt = c.sndUna + 1
+		c.rtoTimer.Reset(c.rtt.RTO())
+	}
+}
+
+func (c *Conn) maybeComplete() bool {
+	if c.state != StateEstablished {
+		return false
+	}
+	// The transfer is complete when the supply is exhausted and everything
+	// supplied has been acknowledged. Probe the supply when idle so
+	// zero-byte and just-finished transfers terminate.
+	if c.sndUna == c.sndNxt && c.sndNxt == c.suppliedEnd {
+		if !c.exhausted {
+			return false // supply not yet drained; trySend will pull
+		}
+		c.state = StateDone
+		c.doneAt = c.eng.Now()
+		c.rtoTimer.Stop()
+		c.delAckTimer.Stop()
+		if c.member != nil {
+			c.member.Active = false
+			c.member.Cwnd = 0
+		}
+		if c.onComplete != nil {
+			c.onComplete(c)
+		}
+		return true
+	}
+	return false
+}
+
+func (c *Conn) fail() {
+	c.state = StateFailed
+	c.rtoTimer.Stop()
+	c.delAckTimer.Stop()
+	if c.member != nil {
+		c.member.Active = false
+		c.member.Cwnd = 0
+	}
+}
+
+func (c *Conn) publishMember() {
+	if c.member == nil {
+		return
+	}
+	c.member.Cwnd = c.ctrl.Window()
+	c.member.SRTT = c.rtt.SRTT()
+	c.member.Active = c.state == StateEstablished
+}
+
+// --- Receiver half ---
+
+func (c *Conn) receiverDeliver(p *netem.Packet) {
+	if p.SYN && !p.IsAck {
+		ack := netem.NewAckPacket(c.id, c.dstAddr, c.srcAddr, 0)
+		ack.SYN = true
+		ack.EchoTime = p.SendTime
+		c.dst.Send(ack)
+		return
+	}
+	if p.IsAck || p.SYN {
+		return
+	}
+	// Congestion-feedback bookkeeping happens on every arrival, in-order
+	// or not: a mark is a statement about the path, not about ordering.
+	if p.CE {
+		switch c.cfg.EchoMode {
+		case cc.EchoCounter:
+			c.pendingCE++
+		case cc.EchoDCTCP:
+			c.ceAccum++
+		case cc.EchoStandard:
+			c.eceLatched = true
+		}
+	}
+	if p.CWR && c.cfg.EchoMode == cc.EchoStandard && !p.CE {
+		c.eceLatched = false
+	}
+	c.lastTriggerTS = p.SendTime
+
+	switch {
+	case p.Seq == c.rcvNxt:
+		c.stats.RcvdBytes += int64(p.PayloadBytes)
+		c.rcvNxt++
+		// Drain any out-of-order run now contiguous with rcv_nxt.
+		jumped := false
+		if hole, ok := c.ooo.FirstHoleAbove(c.rcvNxt); ok {
+			jumped = hole > c.rcvNxt
+			c.rcvNxt = hole
+		} else if m := c.ooo.Max(); m > c.rcvNxt {
+			c.rcvNxt = m
+			jumped = true
+		}
+		c.ooo.TrimBelow(c.rcvNxt)
+		c.delayCount++
+		if jumped || c.delayCount >= c.cfg.DelAckCount || c.echoPending() {
+			c.sendAck()
+		} else if !c.delAckTimer.Armed() {
+			c.delAckTimer.Reset(c.cfg.DelAckTimeout)
+		}
+	case p.Seq > c.rcvNxt:
+		if !c.ooo.Contains(p.Seq) {
+			c.ooo.Add(p.Seq, p.Seq+1)
+			c.stats.RcvdBytes += int64(p.PayloadBytes)
+		}
+		c.sendAck() // immediate duplicate ACK
+	default:
+		c.sendAck() // old duplicate; re-ack
+	}
+}
+
+// echoPending reports whether withholding an ACK would delay congestion
+// feedback the sender is waiting for.
+func (c *Conn) echoPending() bool {
+	switch c.cfg.EchoMode {
+	case cc.EchoCounter:
+		return c.pendingCE > 0
+	case cc.EchoDCTCP:
+		return c.ceAccum > 0
+	default:
+		return false
+	}
+}
+
+func (c *Conn) sendAck() {
+	ack := netem.NewAckPacket(c.id, c.dstAddr, c.srcAddr, c.rcvNxt)
+	switch c.cfg.EchoMode {
+	case cc.EchoCounter:
+		e := c.pendingCE
+		if e > 3 {
+			e = 3 // two-bit encoding carries at most 3 CEs
+		}
+		ack.ECNEcho = e
+		c.pendingCE -= e
+	case cc.EchoDCTCP:
+		ack.ECNEcho = c.ceAccum
+		c.ceAccum = 0
+	case cc.EchoStandard:
+		if c.eceLatched {
+			ack.ECNEcho = 1
+		}
+	}
+	if c.cfg.EnableSACK && !c.ooo.Empty() {
+		var blocks [3]segRange
+		n := c.ooo.Blocks(blocks[:], 3)
+		for i := 0; i < n; i++ {
+			ack.SACK[i] = [2]int64{blocks[i].start, blocks[i].end}
+		}
+		ack.SACKCount = n
+	}
+	ack.EchoTime = c.lastTriggerTS
+	c.delayCount = 0
+	c.delAckTimer.Stop()
+	c.dst.Send(ack)
+}
+
+func (c *Conn) onDelAckTimeout() {
+	if c.delayCount > 0 {
+		c.sendAck()
+	}
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"xmp/internal/mptcp"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+)
+
+// PermutationConfig parameterizes the Permutation pattern: every host
+// sends to one randomly chosen host, each host receives exactly one flow;
+// when the whole permutation completes a new one starts. Flow sizes are
+// uniform in [MinBytes, MaxBytes] (64-512 MB in the paper).
+type PermutationConfig struct {
+	Config
+	MinBytes, MaxBytes int64
+}
+
+// Permutation is a running permutation-pattern generator.
+type Permutation struct {
+	cfg       PermutationConfig
+	remaining int
+	Rounds    int
+}
+
+// StartPermutation launches the first round immediately.
+func StartPermutation(cfg PermutationConfig) *Permutation {
+	if cfg.MinBytes <= 0 || cfg.MaxBytes < cfg.MinBytes {
+		panic("workload: bad permutation size range")
+	}
+	p := &Permutation{cfg: cfg}
+	p.round()
+	return p
+}
+
+// derangement returns a permutation of [0,n) with no fixed points, so no
+// host sends to itself.
+func derangement(rng *sim.RNG, n int) []int {
+	for {
+		perm := rng.Perm(n)
+		ok := true
+		for i, v := range perm {
+			if i == v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return perm
+		}
+	}
+}
+
+func (p *Permutation) round() {
+	n := p.cfg.Net.NumHosts()
+	perm := derangement(p.cfg.RNG, n)
+	p.remaining = n
+	p.Rounds++
+	for src, dst := range perm {
+		size := p.cfg.RNG.UniformBytes(p.cfg.MinBytes, p.cfg.MaxBytes)
+		LaunchFlow(&p.cfg.Config, src, dst, size, func(*mptcp.Flow) {
+			p.remaining--
+			if p.remaining == 0 && p.cfg.Net.Engine().Now() < p.cfg.Stop {
+				p.round()
+			}
+		})
+	}
+}
+
+// RandomConfig parameterizes the Random pattern: each host keeps one
+// outgoing flow alive to a random destination (at most MaxFlowsPerDst
+// flows may target one host); sizes are bounded-Pareto (shape 1.5, mean
+// 192 MB, bound 768 MB in the paper).
+type RandomConfig struct {
+	Config
+	ParetoMeanBytes int64
+	ParetoMaxBytes  int64
+	MaxFlowsPerDst  int
+	// ExcludeSameRack forbids intra-rack pairs (the constraint the paper
+	// places on the Incast pattern's background flows).
+	ExcludeSameRack bool
+	// Hosts restricts which hosts act as sources (nil = all). The Table 2
+	// coexistence runs split the hosts between two schemes this way.
+	Hosts []int
+}
+
+// Random is a running random-pattern generator.
+type Random struct {
+	cfg      RandomConfig
+	dstLoad  []int
+	Launched int
+}
+
+// StartRandom launches one flow per host immediately.
+func StartRandom(cfg RandomConfig) *Random {
+	if cfg.ParetoMeanBytes <= 0 || cfg.ParetoMaxBytes < cfg.ParetoMeanBytes {
+		panic("workload: bad random size parameters")
+	}
+	if cfg.MaxFlowsPerDst < 1 {
+		cfg.MaxFlowsPerDst = 4
+	}
+	r := &Random{cfg: cfg, dstLoad: make([]int, cfg.Net.NumHosts())}
+	hosts := cfg.Hosts
+	if hosts == nil {
+		hosts = make([]int, cfg.Net.NumHosts())
+		for i := range hosts {
+			hosts[i] = i
+		}
+	}
+	for _, src := range hosts {
+		r.launchFrom(src)
+	}
+	return r
+}
+
+func (r *Random) pickDst(src int) int {
+	n := r.cfg.Net.NumHosts()
+	for tries := 0; tries < 64; tries++ {
+		dst := r.cfg.RNG.Intn(n)
+		if dst == src || r.dstLoad[dst] >= r.cfg.MaxFlowsPerDst {
+			continue
+		}
+		if r.cfg.ExcludeSameRack && r.cfg.Net.Categorize(src, dst) == topo.InnerRack {
+			continue
+		}
+		return dst
+	}
+	return -1
+}
+
+func (r *Random) launchFrom(src int) {
+	dst := r.pickDst(src)
+	if dst < 0 {
+		return
+	}
+	size := int64(r.cfg.RNG.Pareto(1.5, float64(r.cfg.ParetoMeanBytes), 1, float64(r.cfg.ParetoMaxBytes)))
+	if size < 1 {
+		size = 1
+	}
+	r.dstLoad[dst]++
+	r.Launched++
+	LaunchFlow(&r.cfg.Config, src, dst, size, func(*mptcp.Flow) {
+		r.dstLoad[dst]--
+		if r.cfg.Net.Engine().Now() < r.cfg.Stop {
+			r.launchFrom(src)
+		}
+	})
+}
+
+// IncastConfig parameterizes the Incast pattern: Jobs concurrent jobs,
+// each picking one client and Servers servers at random; the client sends
+// a RequestBytes flow to each server, every server answers with a
+// ResponseBytes flow, and the job ends when all responses arrive. Small
+// flows use plain TCP. A Random-pattern background of large flows (scheme
+// under test, no intra-rack pairs) loads the fabric.
+type IncastConfig struct {
+	Config
+	Jobs          int
+	Servers       int
+	RequestBytes  int64
+	ResponseBytes int64
+	// Background enables the paper's per-host large background flows.
+	Background       bool
+	BackgroundConfig RandomConfig
+}
+
+// DefaultIncastShape fills the paper's job shape: 8 jobs, 8 servers, 2 KB
+// requests, 64 KB responses.
+func (c *IncastConfig) DefaultIncastShape() {
+	if c.Jobs == 0 {
+		c.Jobs = 8
+	}
+	if c.Servers == 0 {
+		c.Servers = 8
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 2 << 10
+	}
+	if c.ResponseBytes == 0 {
+		c.ResponseBytes = 64 << 10
+	}
+}
+
+// Incast is a running incast-pattern generator.
+type Incast struct {
+	cfg        IncastConfig
+	Background *Random
+	JobsRun    int
+}
+
+// StartIncast launches the background flows and the first Jobs jobs.
+func StartIncast(cfg IncastConfig) *Incast {
+	cfg.DefaultIncastShape()
+	inc := &Incast{cfg: cfg}
+	if cfg.Background {
+		bg := cfg.BackgroundConfig
+		bg.ExcludeSameRack = true
+		inc.Background = StartRandom(bg)
+	}
+	for j := 0; j < cfg.Jobs; j++ {
+		inc.job()
+	}
+	return inc
+}
+
+func (inc *Incast) job() {
+	cfg := &inc.cfg
+	n := cfg.Net.NumHosts()
+	// Pick 1 client + Servers distinct servers.
+	picked := cfg.RNG.Perm(n)[: cfg.Servers+1 : cfg.Servers+1]
+	client := picked[0]
+	servers := picked[1:]
+	start := cfg.Net.Engine().Now()
+	pending := len(servers)
+	inc.JobsRun++
+
+	finishOne := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		if cfg.Collector != nil {
+			cfg.Collector.JCT.AddDuration(cfg.Net.Engine().Now().Sub(start))
+		}
+		if cfg.Net.Engine().Now() < cfg.Stop {
+			inc.job()
+		}
+	}
+	for _, srv := range servers {
+		srv := srv
+		// Request client -> server; on completion the server responds.
+		launchSmallTCP(&cfg.Config, client, srv, cfg.RequestBytes, func(*mptcp.Flow) {
+			launchSmallTCP(&cfg.Config, srv, client, cfg.ResponseBytes, func(*mptcp.Flow) {
+				finishOne()
+			})
+		})
+	}
+}

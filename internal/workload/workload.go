@@ -1,0 +1,188 @@
+// Package workload generates the paper's Section 5.2 traffic patterns on
+// a Fat-Tree: Permutation, Random (Pareto-sized flows) and Incast
+// (request/response jobs over background Random traffic), and collects the
+// measurements the tables and figures report (per-flow goodput by
+// locality, RTT distributions, job completion times).
+package workload
+
+import (
+	"fmt"
+
+	"xmp/internal/metrics"
+	"xmp/internal/mptcp"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/transport"
+)
+
+// Scheme identifies one transfer scheme of the evaluation, e.g. XMP-2
+// (two subflows) or DCTCP.
+type Scheme struct {
+	Algorithm mptcp.Algorithm
+	// Subflows per large flow (1 for the single-path schemes).
+	Subflows int
+	// Beta for the XMP/BOS variants (0 = default 4).
+	Beta int
+}
+
+// Label renders the paper's scheme names: "XMP-2", "LIA-4", "DCTCP"...
+func (s Scheme) Label() string {
+	if s.Algorithm.Multipath() {
+		return fmt.Sprintf("%s-%d", s.Algorithm, s.Subflows)
+	}
+	return s.Algorithm.String()
+}
+
+// Collector accumulates experiment measurements. Create with NewCollector.
+type Collector struct {
+	// Goodput of completed large flows in Mbps, overall and by locality.
+	Goodput      *metrics.Dist
+	GoodputByCat map[topo.Category]*metrics.Dist
+	// RTT samples in milliseconds by locality (subsampled by RTTStride).
+	RTT map[topo.Category]*metrics.Dist
+	// JCT is the Incast job completion time in milliseconds.
+	JCT *metrics.Dist
+
+	// FlowsCompleted counts finished large flows; BytesMoved their bytes.
+	FlowsCompleted int
+	BytesMoved     int64
+
+	// RTTStride keeps every n-th RTT sample (1 = all). Fat-Tree runs
+	// produce millions of samples; the distributions converge long before
+	// that.
+	RTTStride int
+	rttSeen   int
+}
+
+// NewCollector returns an empty collector keeping every n-th RTT sample.
+func NewCollector(rttStride int) *Collector {
+	if rttStride < 1 {
+		rttStride = 1
+	}
+	c := &Collector{
+		Goodput:      &metrics.Dist{},
+		GoodputByCat: make(map[topo.Category]*metrics.Dist),
+		RTT:          make(map[topo.Category]*metrics.Dist),
+		JCT:          &metrics.Dist{},
+		RTTStride:    rttStride,
+	}
+	for _, cat := range []topo.Category{topo.InnerRack, topo.InterRack, topo.InterPod} {
+		c.GoodputByCat[cat] = &metrics.Dist{}
+		c.RTT[cat] = &metrics.Dist{}
+	}
+	return c
+}
+
+func (c *Collector) recordFlow(f *mptcp.Flow, cat topo.Category, now sim.Time) {
+	mbps := metrics.Mbps(f.GoodputBps(now))
+	c.Goodput.Add(mbps)
+	c.GoodputByCat[cat].Add(mbps)
+	c.FlowsCompleted++
+	c.BytesMoved += f.AckedBytes()
+}
+
+func (c *Collector) recordRTT(cat topo.Category, rtt sim.Duration) {
+	c.rttSeen++
+	if c.rttSeen%c.RTTStride != 0 {
+		return
+	}
+	c.RTT[cat].AddDuration(rtt)
+}
+
+// Config carries the knobs shared by all three generators.
+type Config struct {
+	// Net is the fabric the pattern runs over (FatTree or VL2).
+	Net topo.Fabric
+	RNG *sim.RNG
+	// Scheme used by the large flows.
+	Scheme    Scheme
+	Transport transport.Config
+	Collector *Collector
+	// Stop: generators launch no new flows after this time; in-flight
+	// flows run to completion.
+	Stop sim.Time
+	// InitialCwnd for every flow (0 = default).
+	InitialCwnd int
+}
+
+// LaunchFlow starts one large flow of the configured scheme from host
+// index src to dst, of the given size, and records it on completion.
+// onDone (may be nil) runs after recording.
+func LaunchFlow(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)) *mptcp.Flow {
+	net := cfg.Net
+	cat := net.Categorize(src, dst)
+	srcH, dstH := net.Host(src), net.Host(dst)
+
+	nsub := cfg.Scheme.Subflows
+	if !cfg.Scheme.Algorithm.Multipath() || nsub < 1 {
+		nsub = 1
+	}
+	specs := make([]mptcp.SubflowSpec, nsub)
+	for i := range specs {
+		specs[i] = mptcp.SubflowSpec{
+			SrcAddr: net.AliasOf(src, i),
+			DstAddr: net.AliasOf(dst, i),
+		}
+	}
+	col := cfg.Collector
+	eng := net.Engine()
+	f := mptcp.New(eng, mptcp.Options{
+		Name:        fmt.Sprintf("%s:%d->%d", cfg.Scheme.Label(), src, dst),
+		Src:         srcH,
+		Dst:         dstH,
+		Subflows:    specs,
+		TotalBytes:  bytes,
+		Algorithm:   cfg.Scheme.Algorithm,
+		Beta:        cfg.Scheme.Beta,
+		InitialCwnd: cfg.InitialCwnd,
+		Transport:   cfg.Transport,
+		NextConnID:  net.NextConnID,
+		OnComplete: func(f *mptcp.Flow) {
+			if col != nil {
+				col.recordFlow(f, cat, eng.Now())
+			}
+			if onDone != nil {
+				onDone(f)
+			}
+		},
+		OnRTTSample: func(_ int, rtt sim.Duration) {
+			if col != nil {
+				col.recordRTT(cat, rtt)
+			}
+		},
+	})
+	f.Start()
+	return f
+}
+
+// launchSmallTCP starts a plain-TCP small flow (the latency-sensitive
+// traffic: requests and responses of the Incast jobs). RTTs are recorded
+// under the pair's category; goodput is not (the paper's goodput tables
+// cover large flows only).
+func launchSmallTCP(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)) *mptcp.Flow {
+	net := cfg.Net
+	cat := net.Categorize(src, dst)
+	col := cfg.Collector
+	f := mptcp.New(net.Engine(), mptcp.Options{
+		Name:       fmt.Sprintf("tcp:%d->%d", src, dst),
+		Src:        net.Host(src),
+		Dst:        net.Host(dst),
+		Subflows:   []mptcp.SubflowSpec{{SrcAddr: net.AliasOf(src, 0), DstAddr: net.AliasOf(dst, 0)}},
+		TotalBytes: bytes,
+		Algorithm:  mptcp.AlgReno,
+		Transport:  cfg.Transport,
+		NextConnID: net.NextConnID,
+		OnComplete: func(f *mptcp.Flow) {
+			if onDone != nil {
+				onDone(f)
+			}
+		},
+		OnRTTSample: func(_ int, rtt sim.Duration) {
+			if col != nil {
+				col.recordRTT(cat, rtt)
+			}
+		},
+	})
+	f.Start()
+	return f
+}
