@@ -8,6 +8,8 @@
 package xmp_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"xmp/internal/exp"
@@ -157,7 +159,7 @@ func BenchmarkFig11(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	var rs []exp.AblationResult
 	for i := 0; i < b.N; i++ {
-		rs = exp.RunAblations(10)
+		rs = exp.RunAblations(10, 1)
 	}
 	b.ReportMetric(rs[0].Utilization, "baseline-util")
 	b.ReportMetric(rs[len(rs)-1].Utilization, "no-guard-util")
@@ -166,7 +168,7 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkParamSweep(b *testing.B) {
 	var pts []exp.ParamPoint
 	for i := 0; i < b.N; i++ {
-		pts = exp.RunParamSweep([]int{4}, []int{10}, 20*sim.Millisecond, nil)
+		pts = exp.RunParamSweep([]int{4}, []int{10}, 20*sim.Millisecond, 1, nil)
 	}
 	b.ReportMetric(pts[0].GoodputMbps, "goodput-Mbps")
 	b.ReportMetric(pts[0].RTTMs, "rtt-ms")
@@ -175,7 +177,7 @@ func BenchmarkParamSweep(b *testing.B) {
 func BenchmarkIncastSweep(b *testing.B) {
 	var pts []exp.IncastSweepPoint
 	for i := 0; i < b.N; i++ {
-		pts = exp.RunIncastSweep([]int{8}, 40*sim.Millisecond, nil)
+		pts = exp.RunIncastSweep([]int{8}, 40*sim.Millisecond, 1, nil)
 	}
 	b.ReportMetric(pts[0].P50Ms, "jct-p50-ms")
 }
@@ -183,7 +185,7 @@ func BenchmarkIncastSweep(b *testing.B) {
 func BenchmarkSACKAblation(b *testing.B) {
 	var rs []exp.SACKAblationResult
 	for i := 0; i < b.N; i++ {
-		rs = exp.RunSACKAblation(20*sim.Millisecond, nil, exp.SchemeTCP)
+		rs = exp.RunSACKAblation(20*sim.Millisecond, 1, nil, exp.SchemeTCP)
 	}
 	b.ReportMetric(rs[0].PlainGoodput, "tcp-plain-Mbps")
 	b.ReportMetric(rs[0].SACKGoodput, "tcp-sack-Mbps")
@@ -192,7 +194,7 @@ func BenchmarkSACKAblation(b *testing.B) {
 func BenchmarkVL2(b *testing.B) {
 	var pts []exp.VL2Point
 	for i := 0; i < b.N; i++ {
-		pts = exp.RunVL2Comparison([]workload.Scheme{exp.SchemeXMP2}, 40*sim.Millisecond, nil)
+		pts = exp.RunVL2Comparison([]workload.Scheme{exp.SchemeXMP2}, 40*sim.Millisecond, 1, nil)
 	}
 	b.ReportMetric(pts[0].GoodputMbps, "goodput-Mbps")
 }
@@ -209,7 +211,45 @@ func BenchmarkEngine(b *testing.B) {
 			eng.Schedule(sim.Microsecond, fn)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Schedule(sim.Microsecond, fn)
 	eng.Run(sim.MaxTime)
+}
+
+// BenchmarkEngineCancel exercises the schedule/cancel churn the transport
+// retransmit timers generate: every fired event re-arms two and cancels
+// one, so the free list must absorb the turnover without allocating.
+func BenchmarkEngineCancel(b *testing.B) {
+	eng := sim.NewEngine()
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(sim.Microsecond, fn)
+			victim := eng.Schedule(2*sim.Microsecond, func() {})
+			eng.Cancel(victim)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Schedule(sim.Microsecond, fn)
+	eng.Run(sim.MaxTime)
+}
+
+// BenchmarkMatrixParallel contrasts the campaign wall-clock at jobs=1 vs
+// jobs=GOMAXPROCS — the tentpole speedup of the parallel fan-out.
+func BenchmarkMatrixParallel(b *testing.B) {
+	base := exp.FatTreeConfig{K: 4, Duration: 40 * sim.Millisecond, SizeScale: 256}
+	patterns := []exp.Pattern{exp.Permutation, exp.Random, exp.Incast}
+	for _, jobs := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			var m *exp.Matrix
+			for i := 0; i < b.N; i++ {
+				m = exp.RunMatrix(base, patterns, exp.Table1Schemes, jobs, nil)
+			}
+			b.ReportMetric(m.Get(exp.Random, exp.SchemeXMP2).Collector.Goodput.Mean(), "xmp2-random-Mbps")
+		})
+	}
 }

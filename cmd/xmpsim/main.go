@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"xmp/internal/exp"
@@ -55,6 +56,7 @@ var (
 	seed      = flag.Int64("seed", 1, "workload random seed")
 	kary      = flag.Int("k", 8, "fat-tree arity")
 	quiet     = flag.Bool("q", false, "suppress per-run progress lines")
+	jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers for independent experiment cells")
 	jsonOut   = flag.String("json", "", "also write machine-readable results to this file (matrix/table1/table2/fig8-11)")
 )
 
@@ -86,13 +88,13 @@ func main() {
 	case "sweep":
 		runSweep()
 	case "params":
-		exp.RenderParamSweep(os.Stdout, exp.RunParamSweep(nil, nil, scaleT(100*sim.Millisecond), progress()))
+		exp.RenderParamSweep(os.Stdout, exp.RunParamSweep(nil, nil, scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "incastsweep":
-		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), progress()))
+		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), *jobs, progress()))
 	case "sack":
-		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), progress()))
+		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "vl2":
-		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), progress()))
+		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "all":
 		runFig1()
 		runFig4()
@@ -102,10 +104,10 @@ func main() {
 		runTable2()
 		runAblation()
 		runSweep()
-		exp.RenderParamSweep(os.Stdout, exp.RunParamSweep(nil, nil, scaleT(100*sim.Millisecond), progress()))
-		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), progress()))
-		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), progress()))
-		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), progress()))
+		exp.RenderParamSweep(os.Stdout, exp.RunParamSweep(nil, nil, scaleT(100*sim.Millisecond), *jobs, progress()))
+		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), *jobs, progress()))
+		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), *jobs, progress()))
+		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
 	default:
 		usage()
 		os.Exit(2)
@@ -179,7 +181,7 @@ func runMatrix(cmd string) {
 		// multiplier by setting them explicitly.
 		base.Duration = scaleT(200 * sim.Millisecond)
 	}
-	m := exp.RunMatrix(base, patterns, exp.Table1Schemes, progress())
+	m := exp.RunMatrix(base, patterns, exp.Table1Schemes, *jobs, progress())
 	writeJSON(func(w *os.File) error { return m.WriteJSON(w) })
 	fmt.Println()
 	switch cmd {
@@ -221,6 +223,7 @@ func runTable2() {
 			Seed:         *seed,
 			Duration:     scaleT(200 * sim.Millisecond),
 			StrictNonECT: strict,
+			Jobs:         *jobs,
 		}, progress())
 		if strict {
 			writeJSON(func(w *os.File) error { return r.WriteJSON(w) })
@@ -249,10 +252,10 @@ func writeJSON(write func(*os.File) error) {
 }
 
 func runAblation() {
-	exp.RenderAblations(os.Stdout, exp.RunAblations(10))
+	exp.RenderAblations(os.Stdout, exp.RunAblations(10, *jobs))
 }
 
 func runSweep() {
-	rs := exp.RunSubflowSweep([]int{1, 2, 4, 8}, scaleT(50*sim.Millisecond))
+	rs := exp.RunSubflowSweep([]int{1, 2, 4, 8}, scaleT(50*sim.Millisecond), *jobs)
 	exp.RenderSubflowSweep(os.Stdout, rs)
 }

@@ -78,32 +78,43 @@ const time500ms = 500 * sim.Millisecond
 //     MinTh=MaxTh=K — must match) vs conventional EWMA RED (must not);
 //   - CE feedback: the two-bit counter echo vs latched standard ECN;
 //   - the once-per-round reduction guard on vs off.
-func RunAblations(k int) []AblationResult {
+func RunAblations(k, jobs int) []AblationResult {
 	if k == 0 {
 		k = 10
 	}
 	const limit = 250
-	return []AblationResult{
-		ablationRun("threshold-marking (baseline)",
+	type variant struct {
+		name         string
+		q            func(*sim.RNG) netem.Queue
+		echo         cc.EchoMode
+		disableGuard bool
+	}
+	variants := []variant{
+		{"threshold-marking (baseline)",
 			func(*sim.RNG) netem.Queue { return netem.NewThresholdECN(limit, k) },
-			cc.EchoCounter, false),
-		ablationRun("degenerate RED (Wq=1, MinTh=MaxTh=K)",
+			cc.EchoCounter, false},
+		{"degenerate RED (Wq=1, MinTh=MaxTh=K)",
 			func(rng *sim.RNG) netem.Queue {
 				return netem.NewRED(netem.DegenerateREDConfig(limit, k), 12*sim.Microsecond, rng)
 			},
-			cc.EchoCounter, false),
-		ablationRun("conventional RED (EWMA, Internet thresholds)",
+			cc.EchoCounter, false},
+		{"conventional RED (EWMA, Internet thresholds)",
 			func(rng *sim.RNG) netem.Queue {
 				return netem.NewRED(netem.DefaultREDConfig(limit), 12*sim.Microsecond, rng)
 			},
-			cc.EchoCounter, false),
-		ablationRun("standard-ECN echo (latched ECE)",
+			cc.EchoCounter, false},
+		{"standard-ECN echo (latched ECE)",
 			func(*sim.RNG) netem.Queue { return netem.NewThresholdECN(limit, k) },
-			cc.EchoStandard, false),
-		ablationRun("cwr guard disabled (reduce per marked ACK)",
+			cc.EchoStandard, false},
+		{"cwr guard disabled (reduce per marked ACK)",
 			func(*sim.RNG) netem.Queue { return netem.NewThresholdECN(limit, k) },
-			cc.EchoCounter, true),
+			cc.EchoCounter, true},
 	}
+	return RunAll(len(variants), jobs,
+		func(i int) AblationResult {
+			v := variants[i]
+			return ablationRun(v.name, v.q, v.echo, v.disableGuard)
+		}, nil)
 }
 
 // RenderAblations prints the comparison table.
@@ -128,24 +139,23 @@ type SubflowSweepResult struct {
 
 // RunSubflowSweep measures permutation-pattern goodput as the number of
 // XMP subflows grows.
-func RunSubflowSweep(counts []int, duration sim.Duration) []SubflowSweepResult {
+func RunSubflowSweep(counts []int, duration sim.Duration, jobs int) []SubflowSweepResult {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8}
 	}
-	var out []SubflowSweepResult
-	for _, n := range counts {
-		r := RunFatTree(FatTreeConfig{
-			Pattern:  Permutation,
-			Scheme:   schemeXMPn(n),
-			Duration: duration,
-		})
-		out = append(out, SubflowSweepResult{
-			Subflows:   n,
-			AvgGoodput: r.Collector.Goodput.Mean(),
-			Flows:      r.Collector.FlowsCompleted,
-		})
-	}
-	return out
+	return RunAll(len(counts), jobs,
+		func(i int) SubflowSweepResult {
+			r := RunFatTree(FatTreeConfig{
+				Pattern:  Permutation,
+				Scheme:   schemeXMPn(counts[i]),
+				Duration: duration,
+			})
+			return SubflowSweepResult{
+				Subflows:   counts[i],
+				AvgGoodput: r.Collector.Goodput.Mean(),
+				Flows:      r.Collector.FlowsCompleted,
+			}
+		}, nil)
 }
 
 func schemeXMPn(n int) workload.Scheme {

@@ -149,7 +149,7 @@ func TestMatrixSmall(t *testing.T) {
 		SizeScale: 256,
 	}
 	schemes := []workload.Scheme{SchemeDCTCP, SchemeXMP2}
-	m := RunMatrix(base, []Pattern{Permutation, Incast}, schemes, nil)
+	m := RunMatrix(base, []Pattern{Permutation, Incast}, schemes, 1, nil)
 	for _, p := range []Pattern{Permutation, Incast} {
 		for _, s := range schemes {
 			r := m.Get(p, s)
@@ -243,7 +243,7 @@ func TestTable2StrictSwitchesFavorXMP(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	rs := RunAblations(10)
+	rs := RunAblations(10, 1)
 	byName := map[string]AblationResult{}
 	for _, r := range rs {
 		byName[r.Variant] = r
@@ -279,7 +279,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestSubflowSweep(t *testing.T) {
-	rs := RunSubflowSweep([]int{1, 2}, 40*sim.Millisecond)
+	rs := RunSubflowSweep([]int{1, 2}, 40*sim.Millisecond, 1)
 	if len(rs) != 2 {
 		t.Fatalf("points %d", len(rs))
 	}
@@ -295,7 +295,7 @@ func TestSubflowSweep(t *testing.T) {
 }
 
 func TestParamSweepSmall(t *testing.T) {
-	pts := RunParamSweep([]int{2, 4}, []int{10}, 30*sim.Millisecond, nil)
+	pts := RunParamSweep([]int{2, 4}, []int{10}, 30*sim.Millisecond, 1, nil)
 	if len(pts) != 2 {
 		t.Fatalf("points %d", len(pts))
 	}
@@ -312,7 +312,7 @@ func TestParamSweepSmall(t *testing.T) {
 }
 
 func TestIncastSweepSmall(t *testing.T) {
-	pts := RunIncastSweep([]int{4}, 60*sim.Millisecond, nil)
+	pts := RunIncastSweep([]int{4}, 60*sim.Millisecond, 1, nil)
 	if len(pts) != 1 || pts[0].JobsDone == 0 {
 		t.Fatalf("sweep empty: %+v", pts)
 	}
@@ -324,7 +324,7 @@ func TestIncastSweepSmall(t *testing.T) {
 }
 
 func TestSACKAblationSmall(t *testing.T) {
-	rs := RunSACKAblation(30*sim.Millisecond, nil)
+	rs := RunSACKAblation(30*sim.Millisecond, 1, nil)
 	if len(rs) != 3 {
 		t.Fatalf("results %d", len(rs))
 	}
@@ -341,7 +341,7 @@ func TestSACKAblationSmall(t *testing.T) {
 }
 
 func TestVL2ComparisonSmall(t *testing.T) {
-	pts := RunVL2Comparison([]workload.Scheme{SchemeDCTCP, SchemeXMP2}, 40*sim.Millisecond, nil)
+	pts := RunVL2Comparison([]workload.Scheme{SchemeDCTCP, SchemeXMP2}, 40*sim.Millisecond, 1, nil)
 	if len(pts) != 2 {
 		t.Fatalf("points %d", len(pts))
 	}

@@ -18,10 +18,12 @@ type Matrix struct {
 	Results map[Pattern]map[string]*FatTreeResult
 }
 
-// RunMatrix executes every (pattern, scheme) combination. base supplies
-// scale knobs (Duration=0 picks per-pattern defaults). progress, if
-// non-nil, receives a line per finished run.
-func RunMatrix(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme, progress io.Writer) *Matrix {
+// RunMatrix executes every (pattern, scheme) combination, fanning the
+// independent cells out across jobs workers (<= 0 selects GOMAXPROCS).
+// base supplies scale knobs (Duration=0 picks per-pattern defaults).
+// progress, if non-nil, receives one line per finished run, in the same
+// cell order — and with byte-identical content — as a serial jobs=1 run.
+func RunMatrix(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme, jobs int, progress io.Writer) *Matrix {
 	m := &Matrix{
 		Patterns: patterns,
 		Schemes:  schemes,
@@ -29,16 +31,23 @@ func RunMatrix(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme
 	}
 	for _, p := range patterns {
 		m.Results[p] = make(map[string]*FatTreeResult)
-		for _, s := range schemes {
+	}
+	results := RunAll(len(patterns)*len(schemes), jobs,
+		func(i int) *FatTreeResult {
+			pi, si := gridRC(i, len(schemes))
 			cfg := base
-			cfg.Pattern = p
-			cfg.Scheme = s
-			r := RunFatTree(cfg)
-			m.Results[p][s.Label()] = r
+			cfg.Pattern = patterns[pi]
+			cfg.Scheme = schemes[si]
+			return RunFatTree(cfg)
+		},
+		func(_ int, r *FatTreeResult) {
 			if progress != nil {
 				RenderFatTreeRun(progress, r)
 			}
-		}
+		})
+	for i, r := range results {
+		pi, si := gridRC(i, len(schemes))
+		m.Results[patterns[pi]][schemes[si].Label()] = r
 	}
 	return m
 }

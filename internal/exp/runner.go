@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment fan-out every campaign runner
+// (matrix, coexistence, sweeps, ablations) is built on. The paper's
+// evaluation is a grid of independent simulations: each cell owns its own
+// Engine, RNG, topology and packet pool, so cells are embarrassingly
+// parallel. The runner exploits exactly that — and nothing more: inside a
+// cell the simulator stays strictly single-threaded.
+//
+// Determinism contract: results land in a slice indexed by cell, and the
+// progress callback fires on the calling goroutine in strict index order
+// regardless of which worker finishes first. A campaign run with jobs=N
+// therefore renders byte-identical output to jobs=1
+// (TestMatrixParallelDeterministic pins this).
+
+// DefaultJobs resolves a jobs knob: values <= 0 mean "one worker per
+// available CPU".
+func DefaultJobs(jobs int) int {
+	if jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return jobs
+}
+
+// RunAll executes run(i) for i in [0, n) across up to jobs workers and
+// returns the results in index order. done, if non-nil, is invoked as
+// (i, result) in strict index order on the calling goroutine — it is the
+// serialization point for progress output, so campaign logs stay
+// deterministic under any worker count. jobs <= 0 selects GOMAXPROCS;
+// jobs == 1 runs inline with no goroutines (bit-identical to the historic
+// serial loops, useful under -race to isolate engine bugs from fan-out
+// bugs).
+//
+// run must be self-contained per index: own engine, own RNG, no shared
+// mutable state. That is the per-run seed-isolation invariant every
+// experiment in this package already satisfies.
+func RunAll[T any](n, jobs int, run func(i int) T, done func(i int, r T)) []T {
+	results := make([]T, n)
+	if n == 0 {
+		return results
+	}
+	jobs = DefaultJobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := range results {
+			results[i] = run(i)
+			if done != nil {
+				done(i, results[i])
+			}
+		}
+		return results
+	}
+
+	// ready[i] closes when results[i] is filled; the caller drains them in
+	// order below, so progress emission never races or reorders.
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				results[i] = run(i)
+				close(ready[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready[i]
+		if done != nil {
+			done(i, results[i])
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// gridRC recovers the (row, col) of an index flattened row-major over a
+// grid with the given column count — campaigns over two axes use it to
+// keep the historic nested-loop cell order.
+func gridRC(i, cols int) (row, col int) { return i / cols, i % cols }

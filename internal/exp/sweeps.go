@@ -26,9 +26,10 @@ type ParamPoint struct {
 }
 
 // RunParamSweep measures XMP-2 on the Random pattern across a (β, K)
-// grid. The paper fixes (β=4, K=10) for 1 Gbps DCNs and defers the
-// parameter-impact study to future work; this harness is that study.
-func RunParamSweep(betas, ks []int, duration sim.Duration, progress io.Writer) []ParamPoint {
+// grid, fanning the independent cells across jobs workers. The paper
+// fixes (β=4, K=10) for 1 Gbps DCNs and defers the parameter-impact study
+// to future work; this harness is that study.
+func RunParamSweep(betas, ks []int, duration sim.Duration, jobs int, progress io.Writer) []ParamPoint {
 	if len(betas) == 0 {
 		betas = []int{2, 3, 4, 5, 6}
 	}
@@ -38,9 +39,10 @@ func RunParamSweep(betas, ks []int, duration sim.Duration, progress io.Writer) [
 	if duration == 0 {
 		duration = 100 * sim.Millisecond
 	}
-	var out []ParamPoint
-	for _, beta := range betas {
-		for _, k := range ks {
+	return RunAll(len(betas)*len(ks), jobs,
+		func(i int) ParamPoint {
+			bi, ki := gridRC(i, len(ks))
+			beta, k := betas[bi], ks[ki]
 			scheme := SchemeXMP2
 			scheme.Beta = beta
 			r := RunFatTree(FatTreeConfig{
@@ -49,7 +51,7 @@ func RunParamSweep(betas, ks []int, duration sim.Duration, progress io.Writer) [
 				MarkThreshold: k,
 				Duration:      duration,
 			})
-			p := ParamPoint{
+			return ParamPoint{
 				Beta:        beta,
 				K:           k,
 				GoodputMbps: r.Collector.Goodput.Mean(),
@@ -57,14 +59,13 @@ func RunParamSweep(betas, ks []int, duration sim.Duration, progress io.Writer) [
 				Drops:       r.Drops,
 				Flows:       r.Collector.FlowsCompleted,
 			}
-			out = append(out, p)
+		},
+		func(_ int, p ParamPoint) {
 			if progress != nil {
 				fmt.Fprintf(progress, "param beta=%d K=%-3d goodput=%6.1f Mbps rtt=%5.2f ms drops=%d\n",
-					beta, k, p.GoodputMbps, p.RTTMs, p.Drops)
+					p.Beta, p.K, p.GoodputMbps, p.RTTMs, p.Drops)
 			}
-		}
-	}
-	return out
+		})
 }
 
 // RenderParamSweep prints the grid with goodput and RTT per cell.
@@ -124,15 +125,14 @@ type IncastSweepPoint struct {
 // RunIncastSweep stresses the Incast pattern with growing fan-in (the
 // response burst per job) under an XMP-2 background — the regime where
 // the paper argues free buffer headroom absorbs burstiness.
-func RunIncastSweep(servers []int, duration sim.Duration, progress io.Writer) []IncastSweepPoint {
+func RunIncastSweep(servers []int, duration sim.Duration, jobs int, progress io.Writer) []IncastSweepPoint {
 	if len(servers) == 0 {
 		servers = []int{4, 8, 16, 32}
 	}
 	if duration == 0 {
 		duration = 200 * sim.Millisecond
 	}
-	var out []IncastSweepPoint
-	for _, n := range servers {
+	runOne := func(n int) IncastSweepPoint {
 		eng := sim.NewEngine()
 		ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
 		col := workload.NewCollector(16)
@@ -155,7 +155,7 @@ func RunIncastSweep(servers []int, duration sim.Duration, progress io.Writer) []
 			},
 		})
 		eng.RunAll(4_000_000_000)
-		p := IncastSweepPoint{
+		return IncastSweepPoint{
 			Servers:   n,
 			JobsDone:  col.JCT.N(),
 			P50Ms:     col.JCT.Percentile(50),
@@ -163,13 +163,15 @@ func RunIncastSweep(servers []int, duration sim.Duration, progress io.Writer) []
 			Above300:  col.JCT.FractionAbove(300),
 			BGGoodput: col.Goodput.Mean(),
 		}
-		out = append(out, p)
-		if progress != nil {
-			fmt.Fprintf(progress, "incast fan-in=%-3d jobs=%-4d p50=%6.1fms p99=%6.1fms >300ms=%.1f%%\n",
-				n, p.JobsDone, p.P50Ms, p.P99Ms, 100*p.Above300)
-		}
 	}
-	return out
+	return RunAll(len(servers), jobs,
+		func(i int) IncastSweepPoint { return runOne(servers[i]) },
+		func(_ int, p IncastSweepPoint) {
+			if progress != nil {
+				fmt.Fprintf(progress, "incast fan-in=%-3d jobs=%-4d p50=%6.1fms p99=%6.1fms >300ms=%.1f%%\n",
+					p.Servers, p.JobsDone, p.P50Ms, p.P99Ms, 100*p.Above300)
+			}
+		})
 }
 
 // RenderIncastSweep prints the fan-in table.
@@ -196,15 +198,14 @@ type SACKAblationResult struct {
 // RunSACKAblation measures what RFC 2018-style SACK buys the loss-based
 // baselines — part of explaining the residual gap between this
 // simulator's NewReno recovery and the paper's Linux stack.
-func RunSACKAblation(duration sim.Duration, progress io.Writer, schemes ...workload.Scheme) []SACKAblationResult {
+func RunSACKAblation(duration sim.Duration, jobs int, progress io.Writer, schemes ...workload.Scheme) []SACKAblationResult {
 	if duration == 0 {
 		duration = 100 * sim.Millisecond
 	}
 	if len(schemes) == 0 {
 		schemes = []workload.Scheme{SchemeTCP, SchemeLIA2, SchemeLIA4}
 	}
-	var out []SACKAblationResult
-	for _, scheme := range schemes {
+	runOne := func(scheme workload.Scheme) SACKAblationResult {
 		run := func(sack bool) float64 {
 			eng := sim.NewEngine()
 			ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
@@ -227,18 +228,20 @@ func RunSACKAblation(duration sim.Duration, progress io.Writer, schemes ...workl
 			eng.RunAll(4_000_000_000)
 			return col.Goodput.Mean()
 		}
-		r := SACKAblationResult{
+		return SACKAblationResult{
 			Scheme:       scheme.Label(),
 			PlainGoodput: run(false),
 			SACKGoodput:  run(true),
 		}
-		out = append(out, r)
-		if progress != nil {
-			fmt.Fprintf(progress, "sack ablation %-6s plain=%6.1f sack=%6.1f Mbps\n",
-				r.Scheme, r.PlainGoodput, r.SACKGoodput)
-		}
 	}
-	return out
+	return RunAll(len(schemes), jobs,
+		func(i int) SACKAblationResult { return runOne(schemes[i]) },
+		func(_ int, r SACKAblationResult) {
+			if progress != nil {
+				fmt.Fprintf(progress, "sack ablation %-6s plain=%6.1f sack=%6.1f Mbps\n",
+					r.Scheme, r.PlainGoodput, r.SACKGoodput)
+			}
+		})
 }
 
 // RenderSACKAblation prints the comparison.

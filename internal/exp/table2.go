@@ -30,6 +30,9 @@ type Table2Config struct {
 	SizeScale int64
 	Seed      int64
 	KAry      int
+	// Jobs caps the parallel workers fanning the independent cells out
+	// (<= 0 selects GOMAXPROCS).
+	Jobs int
 }
 
 func (c *Table2Config) defaults() {
@@ -77,16 +80,17 @@ type Table2Result struct {
 func RunTable2(cfg Table2Config, progress io.Writer) *Table2Result {
 	cfg.defaults()
 	res := &Table2Result{Config: cfg}
-	for _, limit := range cfg.QueueLimits {
-		for _, other := range cfg.Others {
-			cell := runCoexist(cfg, other, limit)
-			res.Cells = append(res.Cells, cell)
+	res.Cells = RunAll(len(cfg.QueueLimits)*len(cfg.Others), cfg.Jobs,
+		func(i int) Table2Cell {
+			qi, oi := gridRC(i, len(cfg.Others))
+			return runCoexist(cfg, cfg.Others[oi], cfg.QueueLimits[qi])
+		},
+		func(_ int, cell Table2Cell) {
 			if progress != nil {
 				fmt.Fprintf(progress, "coexist q=%-4d XMP:%-6s  %7.1f : %-7.1f Mbps (%d/%d flows)\n",
-					limit, other.Label(), cell.XMPGoodput, cell.OtherGoodput, cell.XMPFlows, cell.OtherFlows)
+					cell.QueueLimit, cell.Other.Label(), cell.XMPGoodput, cell.OtherGoodput, cell.XMPFlows, cell.OtherFlows)
 			}
-		}
-	}
+		})
 	return res
 }
 

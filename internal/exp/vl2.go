@@ -23,15 +23,14 @@ type VL2Point struct {
 // multi-rooted architecture the paper cites) for each Table 1 scheme —
 // the generalization experiment showing XMP's behaviour is not an
 // artifact of the Fat-Tree.
-func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, progress io.Writer) []VL2Point {
+func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, jobs int, progress io.Writer) []VL2Point {
 	if len(schemes) == 0 {
 		schemes = Table1Schemes
 	}
 	if duration == 0 {
 		duration = 100 * sim.Millisecond
 	}
-	var out []VL2Point
-	for _, s := range schemes {
+	runOne := func(s workload.Scheme) VL2Point {
 		eng := sim.NewEngine()
 		v := topo.NewVL2(eng, topo.DefaultVL2Config(topo.ECNMaker(100, 10)))
 		col := workload.NewCollector(8)
@@ -54,20 +53,22 @@ func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, progress
 		for _, li := range v.Links() {
 			drops += li.Queue().Stats().DroppedPackets
 		}
-		p := VL2Point{
+		return VL2Point{
 			Scheme:      s.Label(),
 			GoodputMbps: col.Goodput.Mean(),
 			RTTMs:       col.RTT[topo.InterPod].Mean(),
 			Flows:       col.FlowsCompleted,
 			Drops:       drops,
 		}
-		out = append(out, p)
-		if progress != nil {
-			fmt.Fprintf(progress, "vl2 %-6s goodput=%6.1f Mbps rtt=%5.2f ms flows=%d\n",
-				p.Scheme, p.GoodputMbps, p.RTTMs, p.Flows)
-		}
 	}
-	return out
+	return RunAll(len(schemes), jobs,
+		func(i int) VL2Point { return runOne(schemes[i]) },
+		func(_ int, p VL2Point) {
+			if progress != nil {
+				fmt.Fprintf(progress, "vl2 %-6s goodput=%6.1f Mbps rtt=%5.2f ms flows=%d\n",
+					p.Scheme, p.GoodputMbps, p.RTTMs, p.Flows)
+			}
+		})
 }
 
 // RenderVL2 prints the comparison.

@@ -78,10 +78,14 @@ func (l *Link) TxTime(n int) sim.Duration {
 // as in a real network.
 func (l *Link) Send(p *Packet) {
 	if l.down {
+		p.Release()
 		return
 	}
 	if !l.queue.Enqueue(l.eng.Now(), p) {
-		return // counted by the queue discipline
+		// Counted by the queue discipline; the packet leaves the
+		// simulation here, so recycle it.
+		p.Release()
+		return
 	}
 	if !l.busy {
 		l.startTransmit()
@@ -104,6 +108,8 @@ func (l *Link) finishTransmit(p *Packet) {
 	if !l.down {
 		dst := l.dst
 		l.eng.Schedule(l.delay, func() { dst.Receive(p) })
+	} else {
+		p.Release() // serialized into a dead link
 	}
 	if l.queue.Len() > 0 && !l.down {
 		l.startTransmit()
@@ -118,7 +124,8 @@ func (l *Link) SetDown(down bool) {
 	now := l.eng.Now()
 	if down && !l.down {
 		l.upTime += now.Sub(l.openedAt)
-		for l.queue.Dequeue(now) != nil {
+		for p := l.queue.Dequeue(now); p != nil; p = l.queue.Dequeue(now) {
+			p.Release()
 		}
 	}
 	if !down && l.down {

@@ -47,15 +47,19 @@ func (s *Switch) AddRoute(dst Addr, out *Link) {
 // Route returns the egress link for dst, or nil.
 func (s *Switch) Route(dst Addr) *Link { return s.table[dst] }
 
-// Receive implements Receiver: look up the egress and forward.
+// Receive implements Receiver: look up the egress and forward. Packets
+// dropped here (unroutable, TTL expiry) leave the simulation and are
+// released to their pool.
 func (s *Switch) Receive(p *Packet) {
 	out, ok := s.table[p.Dst]
 	if !ok {
 		s.unroutable++
+		p.Release()
 		return
 	}
 	if !p.DecTTL() {
 		s.loops++
+		p.Release()
 		return
 	}
 	out.Send(p)
@@ -76,6 +80,7 @@ type Host struct {
 	addrs []Addr
 	nic   *Link
 	eng   *sim.Engine
+	pool  *PacketPool
 	conns map[ConnID]Endpoint
 
 	// Misdelivered counts packets that arrived for a connection this host
@@ -129,15 +134,28 @@ func (h *Host) Send(p *Packet) {
 	h.nic.Send(p)
 }
 
-// Receive implements Receiver: demultiplex to the owning endpoint.
+// Receive implements Receiver: demultiplex to the owning endpoint. The
+// host is every packet's terminal sink: once Deliver returns the transport
+// has copied what it needs, so the packet is released to its pool here.
+// Endpoints must not retain pooled packets past Deliver.
 func (h *Host) Receive(p *Packet) {
 	ep, ok := h.conns[p.Conn]
 	if !ok {
 		h.Misdelivered++
+		p.Release()
 		return
 	}
 	ep.Deliver(p)
+	p.Release()
 }
+
+// SetPacketPool wires the pool packets sent by this host's transports are
+// allocated from. Topology builders install one pool per network.
+func (h *Host) SetPacketPool(pl *PacketPool) { h.pool = pl }
+
+// PacketPool returns the host's pool; nil (plain allocation) when none was
+// installed. Safe to call methods on the nil result.
+func (h *Host) PacketPool() *PacketPool { return h.pool }
 
 // Engine returns the event engine the host is bound to.
 func (h *Host) Engine() *sim.Engine { return h.eng }

@@ -81,6 +81,11 @@ type Packet struct {
 	SACKCount int
 
 	ttl int
+
+	// pool is the owning PacketPool (nil for plain heap packets); inPool
+	// flags membership in the free-list so a double Release fails fast.
+	pool   *PacketPool
+	inPool bool
 }
 
 // NewDataPacket builds a data segment of payload bytes from src to dst.

@@ -1,0 +1,106 @@
+package netem
+
+import (
+	"testing"
+
+	"xmp/internal/sim"
+)
+
+func TestPacketPoolRecycles(t *testing.T) {
+	pl := NewPacketPool()
+	p := pl.Data(1, 2, 3, 7, MSS, true)
+	if p.WireBytes != MaxPacketBytes || p.Seq != 7 || !p.ECT {
+		t.Fatalf("bad data packet: %+v", p)
+	}
+	p.Release()
+	if pl.FreeLen() != 1 {
+		t.Fatalf("free len = %d, want 1", pl.FreeLen())
+	}
+	q := pl.Ack(4, 5, 6, 9)
+	if q != p {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	// Every field must be reinitialized, not inherited from the data
+	// packet the struct previously was.
+	if !q.IsAck || q.Ack != 9 || q.Seq != 0 || q.ECT || q.PayloadBytes != 0 || q.WireBytes != HeaderBytes {
+		t.Fatalf("recycled packet kept stale fields: %+v", q)
+	}
+	if got := pl.Recycles(); got != 1 {
+		t.Fatalf("recycles = %d, want 1", got)
+	}
+}
+
+func TestPacketPoolPoison(t *testing.T) {
+	pl := NewPacketPool()
+	pl.Poison = true
+	p := pl.Data(1, 2, 3, 7, 100, true)
+	p.Release()
+	// The released struct must now be obviously invalid to any late
+	// reader (use-after-free detection).
+	if p.Seq != poisonSeq || p.WireBytes != -1 || p.Src != AddrNone || p.Dst != AddrNone {
+		t.Fatalf("released packet not poisoned: %+v", p)
+	}
+	// Reissue still yields a fully valid packet.
+	q := pl.Control(8, 1, 2, true, false)
+	if q != p || !q.SYN || q.WireBytes != HeaderBytes || q.Seq != 0 {
+		t.Fatalf("poisoned packet not cleanly reissued: %+v", q)
+	}
+}
+
+func TestPacketPoolDoubleReleasePanics(t *testing.T) {
+	pl := NewPacketPool()
+	p := pl.Ack(1, 2, 3, 0)
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestPoolLessPacketsIgnoreRelease(t *testing.T) {
+	p := NewDataPacket(1, 2, 3, 0, MSS, false)
+	p.Release() // no pool: must be a no-op
+	p.Release()
+	if p.Seq != 0 || p.WireBytes != MaxPacketBytes {
+		t.Fatalf("pool-less packet mutated by Release: %+v", p)
+	}
+}
+
+// TestLinkReleasesDroppedPackets drives pooled packets into a full queue
+// and a downed link and checks every dropped packet returns to the pool.
+func TestLinkReleasesDroppedPackets(t *testing.T) {
+	eng := sim.NewEngine()
+	pl := NewPacketPool()
+	sink := countingReceiver{}
+	l := NewLink(eng, "l", Gbps, 0, NewDropTail(2), &sink)
+
+	pkts := make([]*Packet, 5)
+	for i := range pkts {
+		pkts[i] = pl.Data(1, 1, 2, int64(i), MSS, false)
+	}
+	// One serializes immediately, two queue, two tail-drop.
+	for _, p := range pkts {
+		l.Send(p)
+	}
+	if pl.FreeLen() != 2 {
+		t.Fatalf("free len after tail drops = %d, want 2", pl.FreeLen())
+	}
+	l.SetDown(true) // drains the two queued packets back to the pool
+	if pl.FreeLen() != 4 {
+		t.Fatalf("free len after SetDown = %d, want 4", pl.FreeLen())
+	}
+	eng.Run(sim.MaxTime)
+	// The in-flight packet serialized into the dead link and was released.
+	if pl.FreeLen() != 5 {
+		t.Fatalf("free len after drain = %d, want 5", pl.FreeLen())
+	}
+	if sink.n != 0 {
+		t.Fatalf("dead link delivered %d packets", sink.n)
+	}
+}
+
+type countingReceiver struct{ n int }
+
+func (r *countingReceiver) Receive(p *Packet) { r.n++ }

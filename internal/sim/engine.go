@@ -6,17 +6,46 @@ import (
 	"math"
 )
 
-// Event is a scheduled callback. The zero Event is invalid.
+// Event is a scheduled callback. Event structs are owned and recycled by
+// their Engine: after an event fires or is cancelled the struct returns to
+// an internal free-list and may be reissued by a later Schedule call.
+// Callers therefore never hold *Event directly — Schedule returns a Handle
+// that pairs the struct with its generation, so a stale Handle can be
+// detected and ignored.
 type Event struct {
-	at       Time
-	seq      uint64 // tiebreaker: FIFO among events at the same instant
+	at  Time
+	seq uint64 // tiebreaker: FIFO among events at the same instant
+	// gen increments every time the struct is recycled; a Handle whose
+	// generation no longer matches refers to an event that already fired
+	// or was cancelled, and Cancel treats it as a no-op.
+	gen      uint64
 	fn       func()
 	index    int // position in the heap, -1 once removed
 	canceled bool
 }
 
-// At returns the time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle refers to a scheduled event. The zero Handle is valid and refers
+// to no event (Cancel ignores it, Pending reports false).
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// live reports whether the handle still refers to the generation it was
+// issued for. A fired/cancelled (and possibly reissued) event fails this.
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool { return h.live() && !h.ev.canceled && h.ev.index >= 0 }
+
+// At returns the time the event is scheduled to fire, or 0 if the handle
+// is stale or zero.
+func (h Handle) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
 
 // eventHeap orders events by (time, insertion sequence).
 type eventHeap []*Event
@@ -53,15 +82,23 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; an experiment owns exactly one Engine.
+// concurrent use; an experiment owns exactly one Engine. The free-list
+// below is what keeps the hot path allocation-free: every fired or
+// cancelled Event struct is recycled into the next Schedule call, so a
+// steady-state simulation allocates no events at all.
 type Engine struct {
 	now     Time
 	nextSeq uint64
 	events  eventHeap
+	// free is the Event recycling stack. Single-threaded like the engine,
+	// so no locking; never shared across engines.
+	free []*Event
 	// processed counts events executed, for progress reporting and the
 	// runaway guard in tests.
 	processed uint64
-	stopped   bool
+	// recycled counts free-list hits (observability for the benchmarks).
+	recycled uint64
+	stopped  bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
@@ -75,13 +112,38 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// Recycled returns the number of Schedule calls served from the free-list.
+func (e *Engine) Recycled() uint64 { return e.recycled }
+
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule runs fn after delay d (>= 0). It returns the Event, which may be
+// alloc pops a recycled Event or allocates a fresh one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.recycled++
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle retires a fired or cancelled event to the free-list. Bumping the
+// generation here is what invalidates every outstanding Handle to it.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil // release the closure for GC
+	ev.canceled = true
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// Schedule runs fn after delay d (>= 0). It returns a Handle, which may be
 // passed to Cancel. Scheduling in the past panics: it always indicates a
 // logic error in the caller.
-func (e *Engine) Schedule(d Duration, fn func()) *Event {
+func (e *Engine) Schedule(d Duration, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -89,36 +151,51 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 }
 
 // ScheduleAt runs fn at absolute time t (>= Now).
-func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+func (e *Engine) ScheduleAt(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{at: t, seq: e.nextSeq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.canceled = false
 	e.nextSeq++
 	heap.Push(&e.events, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op, which makes timer management at the
-// call sites straightforward.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// or was already cancelled — including one whose struct has since been
+// recycled into a different event — is a no-op, which makes timer
+// management at the call sites straightforward.
+func (e *Engine) Cancel(h Handle) {
+	if !h.live() || h.ev.canceled || h.ev.index < 0 {
 		return
 	}
-	ev.canceled = true
+	ev := h.ev
 	heap.Remove(&e.events, ev.index)
+	e.recycle(ev)
 }
 
 // Stop makes the current Run call return after the event in progress
 // completes. It may be called from inside an event callback.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire pops the head event and executes it. The struct is recycled before
+// the callback runs, so the callback's own Schedule calls reuse it; the
+// at/fn copies below keep the execution independent of that reuse.
+func (e *Engine) fire() {
+	next := heap.Pop(&e.events).(*Event)
+	at, fn := next.at, next.fn
+	e.recycle(next)
+	e.now = at
+	e.processed++
+	fn()
+}
 
 // Run executes events in timestamp order until the calendar is empty or the
 // clock would pass until. Events scheduled exactly at until still run. It
@@ -127,14 +204,10 @@ func (e *Engine) Run(until Time) uint64 {
 	start := e.processed
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > until {
+		if e.events[0].at > until {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
-		e.processed++
-		next.fn()
+		e.fire()
 	}
 	if e.now < until && until != MaxTime && !e.stopped {
 		// Drained the calendar before the horizon: advance the clock so a
@@ -156,10 +229,7 @@ func (e *Engine) RunAll(maxEvents uint64) uint64 {
 		if e.processed-start >= maxEvents {
 			panic(fmt.Sprintf("sim: exceeded %d events at t=%v (runaway event loop?)", maxEvents, e.now))
 		}
-		next := heap.Pop(&e.events).(*Event)
-		e.now = next.at
-		e.processed++
-		next.fn()
+		e.fire()
 	}
 	return e.processed - start
 }

@@ -87,7 +87,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelFromWithinEvent(t *testing.T) {
 	eng := NewEngine()
 	fired := false
-	var victim *Event
+	var victim Handle
 	eng.Schedule(Millisecond, func() { eng.Cancel(victim) })
 	victim = eng.Schedule(2*Millisecond, func() { fired = true })
 	eng.Run(MaxTime)

@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+// TestCancelRecycledEventIsNoop is the regression test for the event
+// free-list: a Handle to an event that already fired must stay a safe
+// no-op in Cancel even after the Event struct has been recycled into a
+// brand-new event. Without the generation counter the stale Cancel would
+// silently kill the unrelated new event.
+func TestCancelRecycledEventIsNoop(t *testing.T) {
+	eng := NewEngine()
+	stale := eng.Schedule(Millisecond, func() {})
+	eng.Run(MaxTime) // fires and recycles the event struct
+
+	fired := false
+	fresh := eng.Schedule(Millisecond, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("free-list did not recycle the fired event struct")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports Pending")
+	}
+	eng.Cancel(stale) // must not touch the recycled event
+	eng.Run(MaxTime)
+	if !fired {
+		t.Fatal("stale Cancel killed the event that recycled the struct")
+	}
+}
+
+// TestCancelRecyclesImmediately checks that a cancelled event's struct is
+// reissued by the next Schedule, and that the cancelled handle cannot
+// cancel its successor either.
+func TestCancelRecyclesImmediately(t *testing.T) {
+	eng := NewEngine()
+	h1 := eng.Schedule(Millisecond, func() { t.Fatal("cancelled event fired") })
+	eng.Cancel(h1)
+	fired := false
+	h2 := eng.Schedule(Millisecond, func() { fired = true })
+	if h2.ev != h1.ev {
+		t.Fatal("cancelled event struct was not recycled")
+	}
+	eng.Cancel(h1) // stale again
+	eng.Run(MaxTime)
+	if !fired {
+		t.Fatal("event lost to a stale cancel")
+	}
+}
+
+// TestRunFinalClockWithRecycledEvents pins the Run final-clock rule after
+// the free-list change: draining the calendar before the horizon still
+// advances the clock to the horizon, and events recycled mid-run do not
+// disturb the (time, seq) ordering of later schedules.
+func TestRunFinalClockWithRecycledEvents(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(Millisecond, func() { order = append(order, 1) })
+	eng.Run(Time(10 * Millisecond))
+	if eng.Now() != Time(10*Millisecond) {
+		t.Fatalf("clock at %v, want 10ms horizon", eng.Now())
+	}
+	// The recycled struct must behave like a fresh event at a later time.
+	eng.Schedule(Millisecond, func() { order = append(order, 2) })
+	eng.Schedule(Millisecond, func() { order = append(order, 3) })
+	eng.Run(MaxTime)
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if eng.Now() != Time(11*Millisecond) {
+		t.Fatalf("clock at %v, want 11ms (last event under MaxTime)", eng.Now())
+	}
+}
+
+// TestEngineSteadyStateDoesNotAllocate drives a self-rescheduling event
+// chain and checks the free-list serves every schedule after warm-up.
+func TestEngineSteadyStateDoesNotAllocate(t *testing.T) {
+	eng := NewEngine()
+	n := 0
+	var fn func()
+	fn = func() {
+		n++
+		if n < 1000 {
+			eng.Schedule(Microsecond, fn)
+		}
+	}
+	eng.Schedule(Microsecond, fn)
+	eng.Run(MaxTime)
+	if got := eng.Recycled(); got < 999 {
+		t.Fatalf("recycled %d events, want >= 999 (free-list not engaged)", got)
+	}
+	if len(eng.free) != 1 {
+		t.Fatalf("free-list holds %d events, want 1", len(eng.free))
+	}
+}
+
+// TestTimerReuseAfterRecycle exercises the Timer on top of the free-list:
+// a timer whose event fired must be safely re-armable, and Stop on an
+// expired timer must not cancel an unrelated event that recycled the
+// struct.
+func TestTimerReuseAfterRecycle(t *testing.T) {
+	eng := NewEngine()
+	ticks := 0
+	tm := NewTimer(eng, func() { ticks++ })
+	tm.Reset(Millisecond)
+	eng.Run(MaxTime)
+	if ticks != 1 || tm.Armed() {
+		t.Fatalf("ticks=%d armed=%v after fire", ticks, tm.Armed())
+	}
+	fired := false
+	eng.Schedule(Millisecond, func() { fired = true }) // reuses the struct
+	tm.Stop()                                          // must not cancel it
+	eng.Run(MaxTime)
+	if !fired {
+		t.Fatal("Timer.Stop after expiry cancelled an unrelated event")
+	}
+	tm.Reset(Millisecond)
+	eng.Run(MaxTime)
+	if ticks != 2 {
+		t.Fatalf("ticks=%d after re-arm, want 2", ticks)
+	}
+}

@@ -4,9 +4,14 @@ package sim
 // the retransmission timers inside a TCP implementation. The zero value is
 // not usable; create timers with NewTimer.
 type Timer struct {
-	eng *Engine
-	ev  *Event
-	fn  func()
+	eng   *Engine
+	h     Handle
+	armed bool
+	fn    func()
+	// expire is the bound callback, built once in NewTimer so re-arming
+	// the timer allocates nothing (the engine recycles the event struct
+	// and this closure is reused).
+	expire func()
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
@@ -14,45 +19,46 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer function")
 	}
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.expire = func() {
+		t.armed = false
+		t.h = Handle{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, replacing any pending
 // expiration.
 func (t *Timer) Reset(d Duration) {
 	t.Stop()
-	ev := t.eng.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	t.h = t.eng.Schedule(d, t.expire)
+	t.armed = true
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	ev := t.eng.ScheduleAt(at, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	t.h = t.eng.ScheduleAt(at, t.expire)
+	t.armed = true
 }
 
 // Stop cancels any pending expiration. Stopping a stopped timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
+	if t.armed {
+		t.eng.Cancel(t.h)
+		t.armed = false
+		t.h = Handle{}
 	}
 }
 
 // Armed reports whether the timer has a pending expiration.
-func (t *Timer) Armed() bool { return t.ev != nil }
+func (t *Timer) Armed() bool { return t.armed }
 
 // Deadline returns the time the timer will fire; valid only when Armed.
 func (t *Timer) Deadline() Time {
-	if t.ev == nil {
+	if !t.armed {
 		return 0
 	}
-	return t.ev.At()
+	return t.h.At()
 }

@@ -65,6 +65,12 @@ type Network struct {
 	Switches []*netem.Switch
 	links    []LinkInfo
 
+	// Pool recycles packets across all hosts of this network. It is as
+	// single-threaded as the engine: pooled packets never leave this
+	// topology, so parallel experiment runs (one network each) need no
+	// locking.
+	Pool *netem.PacketPool
+
 	addrHost map[netem.Addr]*netem.Host
 	nextAddr netem.Addr
 	nextConn netem.ConnID
@@ -75,16 +81,19 @@ type Network struct {
 func NewNetwork(eng *sim.Engine) *Network {
 	return &Network{
 		Eng:      eng,
+		Pool:     netem.NewPacketPool(),
 		addrHost: make(map[netem.Addr]*netem.Host),
 		nextAddr: 1, // 0 is reserved as "unset"
 		nextConn: 1,
 	}
 }
 
-// NewHost creates and registers a host with one primary address.
+// NewHost creates and registers a host with one primary address. The host
+// shares the network-wide packet pool.
 func (n *Network) NewHost(name string) *netem.Host {
 	n.nextNode++
 	h := netem.NewHost(n.Eng, n.nextNode, name)
+	h.SetPacketPool(n.Pool)
 	n.Hosts = append(n.Hosts, h)
 	n.AddAddr(h)
 	return h

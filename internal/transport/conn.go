@@ -233,7 +233,7 @@ func (c *Conn) Start() {
 }
 
 func (c *Conn) sendSYN() {
-	p := netem.NewControlPacket(c.id, c.srcAddr, c.dstAddr, true, c.ctrl.ECNCapable())
+	p := c.src.PacketPool().Control(c.id, c.srcAddr, c.dstAddr, true, c.ctrl.ECNCapable())
 	p.SendTime = int64(c.eng.Now())
 	c.src.Send(p)
 	c.rtoTimer.Reset(c.rtt.RTO())
@@ -477,7 +477,7 @@ func (c *Conn) nextPayload() (int, bool) {
 }
 
 func (c *Conn) sendSegment(seq int64, payload int, retrans bool) {
-	p := netem.NewDataPacket(c.id, c.srcAddr, c.dstAddr, seq, payload, c.ctrl.ECNCapable())
+	p := c.src.PacketPool().Data(c.id, c.srcAddr, c.dstAddr, seq, payload, c.ctrl.ECNCapable())
 	p.SendTime = int64(c.eng.Now())
 	if c.pendingCWR {
 		p.CWR = true
@@ -583,7 +583,7 @@ func (c *Conn) publishMember() {
 
 func (c *Conn) receiverDeliver(p *netem.Packet) {
 	if p.SYN && !p.IsAck {
-		ack := netem.NewAckPacket(c.id, c.dstAddr, c.srcAddr, 0)
+		ack := c.dst.PacketPool().Ack(c.id, c.dstAddr, c.srcAddr, 0)
 		ack.SYN = true
 		ack.EchoTime = p.SendTime
 		c.dst.Send(ack)
@@ -654,7 +654,7 @@ func (c *Conn) echoPending() bool {
 }
 
 func (c *Conn) sendAck() {
-	ack := netem.NewAckPacket(c.id, c.dstAddr, c.srcAddr, c.rcvNxt)
+	ack := c.dst.PacketPool().Ack(c.id, c.dstAddr, c.srcAddr, c.rcvNxt)
 	switch c.cfg.EchoMode {
 	case cc.EchoCounter:
 		e := c.pendingCE
