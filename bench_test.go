@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"xmp/internal/exp"
+	"xmp/internal/netem"
 	"xmp/internal/sim"
 	"xmp/internal/topo"
 	"xmp/internal/workload"
@@ -217,6 +218,51 @@ func BenchmarkEngine(b *testing.B) {
 	eng.Run(sim.MaxTime)
 }
 
+// rearmTarget is a typed event receiver that re-schedules itself until n
+// reaches the iteration budget — the typed twin of BenchmarkEngine's
+// closure chain.
+type rearmTarget struct {
+	eng *sim.Engine
+	n   int
+	max int
+}
+
+func (t *rearmTarget) OnEvent(sim.Op, any) {
+	t.n++
+	if t.n < t.max {
+		t.eng.ScheduleTarget(sim.Microsecond, t, 0, nil)
+	}
+}
+
+// BenchmarkScheduleTarget measures the typed schedule+fire primitive the
+// per-packet-hop paths run on: pre-bound receiver, no closure, no
+// container/heap interface dispatch.
+func BenchmarkScheduleTarget(b *testing.B) {
+	eng := sim.NewEngine()
+	t := &rearmTarget{eng: eng, max: b.N}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.ScheduleTarget(sim.Microsecond, t, 0, nil)
+	eng.Run(sim.MaxTime)
+}
+
+// BenchmarkTimerChurn is the RTO re-arm pattern: every ACK resets the
+// retransmission timer, so each iteration cancels a pending expiration
+// and schedules a fresh one. Lazy cancellation makes this O(1); the alloc
+// column must read 0.
+func BenchmarkTimerChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	tm := sim.NewTimer(eng, func() {})
+	tm.Reset(sim.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(sim.Millisecond)
+	}
+	b.StopTimer()
+	tm.Stop()
+}
+
 // BenchmarkEngineCancel exercises the schedule/cancel churn the transport
 // retransmit timers generate: every fired event re-arms two and cancels
 // one, so the free list must absorb the turnover without allocating.
@@ -236,6 +282,58 @@ func BenchmarkEngineCancel(b *testing.B) {
 	b.ResetTimer()
 	eng.Schedule(sim.Microsecond, fn)
 	eng.Run(sim.MaxTime)
+}
+
+// releaseSink terminates packets like a host: every delivery leaves the
+// simulation and returns to the pool.
+type releaseSink struct{ delivered int64 }
+
+func (s *releaseSink) Receive(p *netem.Packet) {
+	s.delivered++
+	p.Release()
+}
+
+// BenchmarkLinkForward is the per-hop hot path in isolation: one pooled
+// packet per iteration enters a link, serializes, propagates, and is
+// released at the far end. Two calendar events per packet-hop; the alloc
+// column is the whole point — it must read 0.
+func BenchmarkLinkForward(b *testing.B) {
+	eng := sim.NewEngine()
+	pool := netem.NewPacketPool()
+	s := &releaseSink{}
+	l := netem.NewLink(eng, "l", netem.Gbps, 20*sim.Microsecond, netem.NewDropTail(100), s)
+	// Warm the packet pool and the event free-list.
+	for i := 0; i < 16; i++ {
+		l.Send(pool.Data(1, 1, 2, int64(i), netem.MSS, true))
+	}
+	eng.Run(sim.MaxTime)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(pool.Data(1, 1, 2, int64(i), netem.MSS, true))
+		eng.Run(sim.MaxTime)
+	}
+	if s.delivered == 0 {
+		b.Fatal("no packets delivered")
+	}
+}
+
+// BenchmarkFatTreeCell runs one full k=8 matrix cell — the unit of work
+// the ROADMAP's campaign sweeps are built from and the workload the
+// calendar optimizations target. Shorter horizon than the campaigns so an
+// iteration stays in seconds.
+func BenchmarkFatTreeCell(b *testing.B) {
+	var r *exp.FatTreeResult
+	for i := 0; i < b.N; i++ {
+		r = exp.RunFatTree(exp.FatTreeConfig{
+			Pattern:   exp.Random,
+			Scheme:    exp.SchemeXMP2,
+			K:         8,
+			Duration:  20 * sim.Millisecond,
+			SizeScale: 256,
+		})
+	}
+	b.ReportMetric(r.Collector.Goodput.Mean(), "goodput-Mbps")
 }
 
 // BenchmarkMatrixParallel contrasts the campaign wall-clock at jobs=1 vs

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 
 	"xmp/internal/exp"
@@ -58,7 +60,65 @@ var (
 	quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers for independent experiment cells")
 	jsonOut   = flag.String("json", "", "also write machine-readable results to this file (matrix/table1/table2/fig8-11)")
+
+	// Profiling hooks for the hot-path work: point any of these at a file
+	// and inspect with `go tool pprof` / `go tool trace`.
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile (after GC, at exit) to this file")
+	execTrace  = flag.String("trace", "", "write a runtime execution trace of the run to this file")
 )
+
+// startProfiling begins CPU profiling and execution tracing when requested
+// and returns the matching teardown. The heap profile is captured in the
+// teardown so it reflects end-of-run live memory.
+func startProfiling() func() {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *execTrace != "" {
+		f, err := os.Create(*execTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuprofile)
+		}
+		if *execTrace != "" {
+			rtrace.Stop()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *execTrace)
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *memprofile)
+		}
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -69,6 +129,7 @@ func main() {
 	flag.CommandLine.Parse(os.Args[2:])
 	flag.Usage = usage
 
+	stopProfiling := startProfiling()
 	start := time.Now()
 	switch cmd {
 	case "fig1":
@@ -112,6 +173,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	stopProfiling()
 	fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
 }
 

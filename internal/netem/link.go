@@ -92,6 +92,25 @@ func (l *Link) Send(p *Packet) {
 	}
 }
 
+// Link event ops for the typed scheduling path: serialization done and
+// propagation delivery, the two calendar events of every packet-hop.
+const (
+	opTxDone sim.Op = iota
+	opDeliver
+)
+
+// OnEvent implements sim.Target, dispatching the link's typed events. Not
+// for direct use; scheduling through ScheduleTarget instead of capturing
+// closures is what keeps the per-hop path free of heap allocations.
+func (l *Link) OnEvent(op sim.Op, arg any) {
+	p := arg.(*Packet)
+	if op == opTxDone {
+		l.finishTransmit(p)
+	} else {
+		l.dst.Receive(p)
+	}
+}
+
 func (l *Link) startTransmit() {
 	p := l.queue.Dequeue(l.eng.Now())
 	if p == nil {
@@ -99,15 +118,14 @@ func (l *Link) startTransmit() {
 		return
 	}
 	l.busy = true
-	l.eng.Schedule(l.TxTime(p.WireBytes), func() { l.finishTransmit(p) })
+	l.eng.ScheduleTarget(l.TxTime(p.WireBytes), l, opTxDone, p)
 }
 
 func (l *Link) finishTransmit(p *Packet) {
 	l.txBytes += int64(p.WireBytes)
 	l.txPackets++
 	if !l.down {
-		dst := l.dst
-		l.eng.Schedule(l.delay, func() { dst.Receive(p) })
+		l.eng.ScheduleTarget(l.delay, l, opDeliver, p)
 	} else {
 		p.Release() // serialized into a dead link
 	}

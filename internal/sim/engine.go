@@ -1,9 +1,29 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+)
+
+// Op tags which action a typed Target should take when its event fires.
+// Values are private to each Target implementation: the engine never
+// interprets them, it only carries them from ScheduleTarget to OnEvent.
+type Op uint8
+
+// Target is the typed-dispatch receiver of the allocation-free scheduling
+// path. Hot-path objects (links, timers, transport connections) implement
+// OnEvent once and pre-bind themselves at Schedule time, so per-event
+// capturing closures — one heap allocation each — never exist. The arg
+// value is passed through verbatim; storing a pointer (e.g. a *Packet) in
+// it does not allocate.
+type Target interface {
+	OnEvent(op Op, arg any)
+}
+
+// Event kinds: the tagged union discriminator.
+const (
+	kindFunc uint8 = iota
+	kindTarget
 )
 
 // Event is a scheduled callback. Event structs are owned and recycled by
@@ -12,15 +32,23 @@ import (
 // Callers therefore never hold *Event directly — Schedule returns a Handle
 // that pairs the struct with its generation, so a stale Handle can be
 // detected and ignored.
+//
+// An Event is a small tagged union: kindFunc events carry a closure in fn,
+// kindTarget events carry a pre-bound (target, op, arg) triple and fire
+// through a single interface call with no per-event allocation.
 type Event struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among events at the same instant
-	// gen increments every time the struct is recycled; a Handle whose
-	// generation no longer matches refers to an event that already fired
-	// or was cancelled, and Cancel treats it as a no-op.
+	// gen increments every time the struct is invalidated (cancelled or
+	// recycled); a Handle whose generation no longer matches refers to an
+	// event that already fired or was cancelled, and Cancel treats it as a
+	// no-op.
 	gen      uint64
-	fn       func()
-	index    int // position in the heap, -1 once removed
+	fn       func() // kindFunc payload
+	target   Target // kindTarget payload
+	arg      any
+	op       Op
+	kind     uint8
 	canceled bool
 }
 
@@ -36,7 +64,7 @@ type Handle struct {
 func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 
 // Pending reports whether the event is still scheduled to fire.
-func (h Handle) Pending() bool { return h.live() && !h.ev.canceled && h.ev.index >= 0 }
+func (h Handle) Pending() bool { return h.live() && !h.ev.canceled }
 
 // At returns the time the event is scheduled to fire, or 0 if the handle
 // is stale or zero.
@@ -47,49 +75,25 @@ func (h Handle) At() Time {
 	return h.ev.at
 }
 
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; an experiment owns exactly one Engine. The free-list
 // below is what keeps the hot path allocation-free: every fired or
 // cancelled Event struct is recycled into the next Schedule call, so a
 // steady-state simulation allocates no events at all.
+//
+// The calendar is a hand-rolled 4-ary min-heap over a flat []*Event,
+// ordered by (time, insertion sequence). Compared to container/heap this
+// removes the any-boxing, the non-inlinable interface-method dispatch on
+// every sift, and the per-swap index writes; the wider fan-out halves the
+// tree depth, trading slightly more comparisons per level for fewer cache
+// misses — the standard calendar layout of high-throughput DES engines.
 type Engine struct {
 	now     Time
 	nextSeq uint64
-	events  eventHeap
+	events  []*Event // 4-ary min-heap by (at, seq)
+	// canceledCount tracks lazily-cancelled events still occupying heap
+	// slots; when they dominate the calendar the heap is compacted.
+	canceledCount int
 	// free is the Event recycling stack. Single-threaded like the engine,
 	// so no locking; never shared across engines.
 	free []*Event
@@ -115,8 +119,103 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Recycled returns the number of Schedule calls served from the free-list.
 func (e *Engine) Recycled() uint64 { return e.recycled }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events currently scheduled (cancelled
+// events awaiting lazy reclamation are not counted).
+func (e *Engine) Pending() int { return len(e.events) - e.canceledCount }
+
+// less orders the calendar: earlier time first, FIFO at the same instant.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush appends ev and sifts it up its 4-ary parent chain. The hole is
+// moved, not swapped: one write per level plus the final placement.
+func (e *Engine) heapPush(ev *Event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !less(ev, p) {
+			break
+		}
+		h[i] = p
+		i = parent
+	}
+	h[i] = ev
+}
+
+// heapPop removes and returns the minimum event.
+func (e *Engine) heapPop() *Event {
+	h := e.events
+	n := len(h) - 1
+	top := h[0]
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(0, last)
+	}
+	return top
+}
+
+// siftDown places ev into the heap starting at slot i, walking down toward
+// the leaves. Children of i are slots 4i+1..4i+4.
+func (e *Engine) siftDown(i int, ev *Event) {
+	h := e.events
+	n := len(h)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
+}
+
+// compact rebuilds the heap without its lazily-cancelled events, recycling
+// them. Triggered when cancelled entries dominate the calendar, so the
+// O(n) rebuild amortizes to O(1) per Cancel. The pop order of the
+// survivors is unchanged: (at, seq) is a strict total order, so any valid
+// heap over the same set drains identically — determinism is layout-free.
+func (e *Engine) compact() {
+	h := e.events
+	live := h[:0]
+	for _, ev := range h {
+		if ev.canceled {
+			e.free = append(e.free, ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(h); i++ {
+		h[i] = nil
+	}
+	e.events = live
+	e.canceledCount = 0
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i, live[i])
+	}
+}
 
 // alloc pops a recycled Event or allocates a fresh one.
 func (e *Engine) alloc() *Event {
@@ -130,13 +229,14 @@ func (e *Engine) alloc() *Event {
 	return &Event{}
 }
 
-// recycle retires a fired or cancelled event to the free-list. Bumping the
-// generation here is what invalidates every outstanding Handle to it.
+// recycle retires a fired event to the free-list. Bumping the generation
+// here is what invalidates every outstanding Handle to it.
 func (e *Engine) recycle(ev *Event) {
 	ev.gen++
-	ev.fn = nil // release the closure for GC
+	ev.fn = nil // release payload references for GC
+	ev.target = nil
+	ev.arg = nil
 	ev.canceled = true
-	ev.index = -1
 	e.free = append(e.free, ev)
 }
 
@@ -152,49 +252,130 @@ func (e *Engine) Schedule(d Duration, fn func()) Handle {
 
 // ScheduleAt runs fn at absolute time t (>= Now).
 func (e *Engine) ScheduleAt(t Time, fn func()) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event function")
+	}
+	ev := e.insert(t)
+	ev.kind = kindFunc
+	ev.fn = fn
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// ScheduleTarget runs t.OnEvent(op, arg) after delay d (>= 0). This is the
+// typed, allocation-free variant of Schedule: the receiver is pre-bound
+// instead of captured, so the per-packet hot paths (link serialization,
+// propagation delivery, RTO and delayed-ACK timers) schedule with zero
+// heap allocations. arg should be nil or a pointer-shaped value; both
+// store into the event without allocating.
+func (e *Engine) ScheduleTarget(d Duration, t Target, op Op, arg any) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleTargetAt(e.now.Add(d), t, op, arg)
+}
+
+// ScheduleTargetAt runs t.OnEvent(op, arg) at absolute time at (>= Now).
+func (e *Engine) ScheduleTargetAt(at Time, t Target, op Op, arg any) Handle {
+	if t == nil {
+		panic("sim: nil event target")
+	}
+	ev := e.insert(at)
+	ev.kind = kindTarget
+	ev.target = t
+	ev.op = op
+	ev.arg = arg
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// insert allocates an event at time t with the next FIFO sequence number
+// and pushes it onto the calendar. The caller fills in the payload.
+func (e *Engine) insert(t Time) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
 	ev := e.alloc()
 	ev.at = t
 	ev.seq = e.nextSeq
-	ev.fn = fn
 	ev.canceled = false
 	e.nextSeq++
-	heap.Push(&e.events, ev)
-	return Handle{ev: ev, gen: ev.gen}
+	e.heapPush(ev)
+	return ev
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired
 // or was already cancelled — including one whose struct has since been
 // recycled into a different event — is a no-op, which makes timer
 // management at the call sites straightforward.
+//
+// Cancellation is lazy: the event is marked dead in O(1) and its heap slot
+// is reclaimed when it reaches the head of the calendar (or at the next
+// compaction), instead of an O(log n) sift per cancel. The handle goes
+// stale immediately; only the struct's reuse is deferred.
 func (e *Engine) Cancel(h Handle) {
-	if !h.live() || h.ev.canceled || h.ev.index < 0 {
+	if !h.live() || h.ev.canceled {
 		return
 	}
 	ev := h.ev
-	heap.Remove(&e.events, ev.index)
-	e.recycle(ev)
+	if n := len(e.events) - 1; e.events[n] == ev {
+		// The event occupies the last heap slot — the common shape for
+		// schedule-then-cancel timer churn, where nothing later was
+		// scheduled. Removing a tail leaf cannot violate the heap order,
+		// so reclaim it immediately: no corpse, no deferred drain.
+		e.events[n] = nil
+		e.events = e.events[:n]
+		e.recycle(ev)
+		return
+	}
+	ev.canceled = true
+	ev.gen++ // invalidate all outstanding handles now
+	ev.fn = nil
+	ev.target = nil
+	ev.arg = nil
+	e.canceledCount++
+	// Compact when cancelled corpses outnumber live events and are worth
+	// the O(n) sweep; keeps RTO-churn heaps from growing without bound.
+	if e.canceledCount > 64 && e.canceledCount > len(e.events)-e.canceledCount {
+		e.compact()
+	}
 }
 
 // Stop makes the current Run call return after the event in progress
 // completes. It may be called from inside an event callback.
 func (e *Engine) Stop() { e.stopped = true }
 
-// fire pops the head event and executes it. The struct is recycled before
-// the callback runs, so the callback's own Schedule calls reuse it; the
-// at/fn copies below keep the execution independent of that reuse.
+// peek drains lazily-cancelled events off the head of the calendar and
+// returns the earliest live event, or nil when the calendar is empty.
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		head := e.events[0]
+		if !head.canceled {
+			return head
+		}
+		e.heapPop()
+		e.canceledCount--
+		// Cancel already bumped gen and cleared the payload; the struct
+		// only needs to reach the free-list.
+		e.free = append(e.free, head)
+	}
+	return nil
+}
+
+// fire pops the head event and executes it. peek must have run first, so
+// the head is live. The struct is recycled before the callback runs, so
+// the callback's own Schedule calls reuse it; the local copies below keep
+// the execution independent of that reuse.
 func (e *Engine) fire() {
-	next := heap.Pop(&e.events).(*Event)
-	at, fn := next.at, next.fn
-	e.recycle(next)
+	ev := e.heapPop()
+	at, kind := ev.at, ev.kind
+	fn, target, op, arg := ev.fn, ev.target, ev.op, ev.arg
+	e.recycle(ev)
 	e.now = at
 	e.processed++
-	fn()
+	if kind == kindFunc {
+		fn()
+	} else {
+		target.OnEvent(op, arg)
+	}
 }
 
 // Run executes events in timestamp order until the calendar is empty or the
@@ -203,8 +384,9 @@ func (e *Engine) fire() {
 func (e *Engine) Run(until Time) uint64 {
 	start := e.processed
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > until {
+	for !e.stopped {
+		head := e.peek()
+		if head == nil || head.at > until {
 			break
 		}
 		e.fire()
@@ -225,7 +407,7 @@ func (e *Engine) Run(until Time) uint64 {
 func (e *Engine) RunAll(maxEvents uint64) uint64 {
 	start := e.processed
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
+	for !e.stopped && e.peek() != nil {
 		if e.processed-start >= maxEvents {
 			panic(fmt.Sprintf("sim: exceeded %d events at t=%v (runaway event loop?)", maxEvents, e.now))
 		}

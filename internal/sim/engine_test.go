@@ -246,6 +246,78 @@ func TestTimerDeadline(t *testing.T) {
 	}
 }
 
+// opRecorder records every typed dispatch it receives.
+type opRecorder struct {
+	eng  *Engine
+	ops  []Op
+	args []any
+	at   []Time
+}
+
+func (r *opRecorder) OnEvent(op Op, arg any) {
+	r.ops = append(r.ops, op)
+	r.args = append(r.args, arg)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func TestScheduleTargetDispatch(t *testing.T) {
+	eng := NewEngine()
+	r := &opRecorder{eng: eng}
+	payload := &struct{ v int }{v: 7}
+	eng.ScheduleTarget(2*Millisecond, r, 5, payload)
+	eng.ScheduleTarget(Millisecond, r, 3, nil)
+	eng.Run(MaxTime)
+	if len(r.ops) != 2 {
+		t.Fatalf("dispatched %d typed events, want 2", len(r.ops))
+	}
+	if r.ops[0] != 3 || r.at[0] != Time(Millisecond) || r.args[0] != nil {
+		t.Fatalf("first dispatch op=%d at=%v arg=%v", r.ops[0], r.at[0], r.args[0])
+	}
+	if r.ops[1] != 5 || r.at[1] != Time(2*Millisecond) || r.args[1] != any(payload) {
+		t.Fatalf("second dispatch op=%d at=%v arg=%v", r.ops[1], r.at[1], r.args[1])
+	}
+}
+
+func TestTypedAndFuncEventsInterleaveFIFO(t *testing.T) {
+	// Typed and func events at the same instant keep schedule order: the
+	// (time, seq) tiebreak is kind-agnostic.
+	eng := NewEngine()
+	var order []int
+	r := &opRecorder{eng: eng}
+	eng.Schedule(Millisecond, func() { order = append(order, 0) })
+	eng.ScheduleTarget(Millisecond, r, 1, nil)
+	eng.Schedule(Millisecond, func() { order = append(order, 2) })
+	eng.ScheduleTarget(Millisecond, r, 3, nil)
+	eng.Run(MaxTime)
+	if len(order) != 2 || order[0] != 0 || order[1] != 2 {
+		t.Fatalf("func events out of order: %v", order)
+	}
+	if len(r.ops) != 2 || r.ops[0] != 1 || r.ops[1] != 3 {
+		t.Fatalf("typed events out of order: %v", r.ops)
+	}
+}
+
+func TestScheduleTargetCancel(t *testing.T) {
+	eng := NewEngine()
+	r := &opRecorder{eng: eng}
+	h := eng.ScheduleTarget(Millisecond, r, 1, nil)
+	eng.ScheduleTarget(2*Millisecond, r, 2, nil)
+	eng.Cancel(h)
+	eng.Run(MaxTime)
+	if len(r.ops) != 1 || r.ops[0] != 2 {
+		t.Fatalf("cancel of typed event wrong: dispatched %v", r.ops)
+	}
+}
+
+func TestScheduleTargetNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil target did not panic")
+		}
+	}()
+	NewEngine().ScheduleTarget(Millisecond, nil, 0, nil)
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {
@@ -365,6 +437,45 @@ func TestEngineDeterministicUnderLoad(t *testing.T) {
 	a, b := run(), run()
 	if len(a) != len(b) {
 		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineDeterministicUnderCancelChurn(t *testing.T) {
+	// Same property as above with heavy cancellation mixed in: lazy
+	// deletion, tail reclamation, and compaction must not perturb the
+	// (time, seq) firing order — the invariant the byte-identical golden
+	// campaign outputs rest on.
+	run := func() []Time {
+		eng := NewEngine()
+		r := rand.New(rand.NewSource(9))
+		var seq []Time
+		var handles []Handle
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			seq = append(seq, eng.Now())
+			if depth < 5 {
+				for i := 0; i < 3; i++ {
+					h := eng.Schedule(Duration(r.Intn(1000))*Microsecond, func() { spawn(depth + 1) })
+					handles = append(handles, h)
+				}
+				// Cancel pseudo-random handles; stale ones no-op.
+				for i := 0; i < 2 && len(handles) > 0; i++ {
+					eng.Cancel(handles[r.Intn(len(handles))])
+				}
+			}
+		}
+		eng.Schedule(0, func() { spawn(0) })
+		eng.Run(MaxTime)
+		return seq
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts under cancel churn: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
 		if a[i] != b[i] {

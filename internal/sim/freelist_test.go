@@ -27,22 +27,108 @@ func TestCancelRecycledEventIsNoop(t *testing.T) {
 	}
 }
 
-// TestCancelRecyclesImmediately checks that a cancelled event's struct is
-// reissued by the next Schedule, and that the cancelled handle cannot
-// cancel its successor either.
-func TestCancelRecyclesImmediately(t *testing.T) {
+// TestCancelTailReclaimsImmediately pins the Cancel fast path: when the
+// cancelled event occupies the last heap slot (schedule-then-cancel with
+// nothing scheduled after it), it is removed and recycled on the spot, so
+// the very next Schedule reuses the struct.
+func TestCancelTailReclaimsImmediately(t *testing.T) {
 	eng := NewEngine()
 	h1 := eng.Schedule(Millisecond, func() { t.Fatal("cancelled event fired") })
 	eng.Cancel(h1)
+	if h1.Pending() || eng.Pending() != 0 {
+		t.Fatal("cancelled tail event still pending")
+	}
 	fired := false
 	h2 := eng.Schedule(Millisecond, func() { fired = true })
 	if h2.ev != h1.ev {
-		t.Fatal("cancelled event struct was not recycled")
+		t.Fatal("tail-cancelled event struct was not recycled immediately")
 	}
-	eng.Cancel(h1) // stale again
+	eng.Cancel(h1) // stale
 	eng.Run(MaxTime)
 	if !fired {
 		t.Fatal("event lost to a stale cancel")
+	}
+}
+
+// TestCancelReclaimsLazily pins the lazy-deletion contract for non-tail
+// events: Cancel stales the handle in O(1) but the Event struct stays in
+// the calendar until its slot reaches the head (or a compaction sweeps
+// it), so the very next Schedule must NOT reuse it — premature reuse
+// would corrupt the heap. Once a run drains past the corpse, the struct
+// is back on the free-list.
+func TestCancelReclaimsLazily(t *testing.T) {
+	eng := NewEngine()
+	h1 := eng.Schedule(Millisecond, func() { t.Fatal("cancelled event fired") })
+	blocker := false
+	eng.Schedule(2*Millisecond, func() { blocker = true }) // keeps h1 off the tail slot
+	eng.Cancel(h1)
+	if h1.Pending() {
+		t.Fatal("cancelled handle reports Pending")
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("engine Pending = %d after cancel, want 1", eng.Pending())
+	}
+	fired := false
+	h2 := eng.Schedule(Millisecond, func() { fired = true })
+	if h2.ev == h1.ev {
+		t.Fatal("lazily-cancelled event struct reused while still in the calendar")
+	}
+	eng.Cancel(h1) // stale again
+	eng.Run(MaxTime)
+	if !fired || !blocker {
+		t.Fatal("live events lost to a stale cancel")
+	}
+	// The drained corpse is recyclable now.
+	found := false
+	for _, want := range []*Event{h1.ev, h2.ev} {
+		h := eng.Schedule(Millisecond, func() {})
+		if h.ev == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("drained corpse was not recycled into the free-list")
+	}
+}
+
+// TestCancelCompaction drives enough churn to trip the compaction sweep
+// and checks the calendar stays correct: live events fire in order, and
+// cancelled ones are reclaimed without waiting for their deadlines.
+func TestCancelCompaction(t *testing.T) {
+	eng := NewEngine()
+	var fired []int
+	// One live event among many cancels, repeated past the threshold.
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(Duration(i+1)*Millisecond, func() { fired = append(fired, i) })
+	}
+	var victims []Handle
+	for i := 0; i < 500; i++ {
+		victims = append(victims, eng.Schedule(Second+Duration(i)*Millisecond, func() {
+			t.Error("cancelled event fired")
+		}))
+	}
+	for _, h := range victims {
+		eng.Cancel(h)
+	}
+	if got := eng.Pending(); got != 10 {
+		t.Fatalf("Pending = %d after mass cancel, want 10", got)
+	}
+	// Compaction must have reclaimed most corpses already (threshold 64).
+	if len(eng.events) > 10+64+1 {
+		t.Fatalf("heap still holds %d slots; compaction did not run", len(eng.events))
+	}
+	eng.Run(MaxTime)
+	if len(fired) != 10 {
+		t.Fatalf("fired %d live events, want 10", len(fired))
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("live events reordered after compaction: %v", fired)
+		}
+	}
+	if eng.Now() != Time(10*Millisecond) {
+		t.Fatalf("clock at %v: a cancelled event advanced time", eng.Now())
 	}
 }
 

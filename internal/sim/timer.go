@@ -3,15 +3,15 @@ package sim
 // Timer is a restartable one-shot timer bound to an Engine, analogous to
 // the retransmission timers inside a TCP implementation. The zero value is
 // not usable; create timers with NewTimer.
+//
+// Timer rides the typed event path: it implements Target and pre-binds
+// itself at arm time, so Reset/Stop churn neither allocates (no capturing
+// closure per arm) nor sifts the calendar (Stop is a lazy O(1) cancel).
 type Timer struct {
 	eng   *Engine
 	h     Handle
 	armed bool
 	fn    func()
-	// expire is the bound callback, built once in NewTimer so re-arming
-	// the timer allocates nothing (the engine recycles the event struct
-	// and this closure is reused).
-	expire func()
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it expires.
@@ -19,27 +19,28 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer function")
 	}
-	t := &Timer{eng: eng, fn: fn}
-	t.expire = func() {
-		t.armed = false
-		t.h = Handle{}
-		t.fn()
-	}
-	return t
+	return &Timer{eng: eng, fn: fn}
+}
+
+// OnEvent implements Target: the timer expired. Not for direct use.
+func (t *Timer) OnEvent(Op, any) {
+	t.armed = false
+	t.h = Handle{}
+	t.fn()
 }
 
 // Reset (re)arms the timer to fire after d, replacing any pending
 // expiration.
 func (t *Timer) Reset(d Duration) {
 	t.Stop()
-	t.h = t.eng.Schedule(d, t.expire)
+	t.h = t.eng.ScheduleTarget(d, t, 0, nil)
 	t.armed = true
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.h = t.eng.ScheduleAt(at, t.expire)
+	t.h = t.eng.ScheduleTargetAt(at, t, 0, nil)
 	t.armed = true
 }
 

@@ -46,6 +46,7 @@ func Counter(name string, read func() int64) Probe {
 type Recorder struct {
 	eng      *sim.Engine
 	interval sim.Duration
+	until    sim.Time
 	probes   []Probe
 	times    []sim.Time
 	rows     [][]float64
@@ -78,19 +79,24 @@ func (r *Recorder) Start(until sim.Time) {
 		panic("trace: already started")
 	}
 	r.running = true
-	var tick func()
-	tick = func() {
-		row := make([]float64, len(r.probes))
-		for i, p := range r.probes {
-			row[i] = p.Fn()
-		}
-		r.times = append(r.times, r.eng.Now())
-		r.rows = append(r.rows, row)
-		if r.eng.Now() < until {
-			r.eng.Schedule(r.interval, tick)
-		}
+	r.until = until
+	r.eng.ScheduleTarget(r.interval, r, 0, nil)
+}
+
+// OnEvent implements sim.Target: take one sample and re-arm the tick.
+// Scheduling the recorder itself keeps the periodic sampling off the
+// closure path (the per-sample row allocation is the payload, not the
+// scheduling). Not for direct use.
+func (r *Recorder) OnEvent(sim.Op, any) {
+	row := make([]float64, len(r.probes))
+	for i, p := range r.probes {
+		row[i] = p.Fn()
 	}
-	r.eng.Schedule(r.interval, tick)
+	r.times = append(r.times, r.eng.Now())
+	r.rows = append(r.rows, row)
+	if r.eng.Now() < r.until {
+		r.eng.ScheduleTarget(r.interval, r, 0, nil)
+	}
 }
 
 // Samples returns the number of rows recorded.

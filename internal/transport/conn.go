@@ -106,7 +106,8 @@ type Conn struct {
 	recoverSeq     int64
 	pendingCWR     bool
 	rtt            rttEstimator
-	rtoTimer       *sim.Timer
+	rtoH           sim.Handle
+	rtoArmed       bool
 	retries        int
 	stats          Stats
 	// SACK scoreboard: segments above snd_una the receiver reported
@@ -121,7 +122,8 @@ type Conn struct {
 	ceAccum       int      // EchoDCTCP per-ack count
 	eceLatched    bool     // EchoStandard latch
 	delayCount    int
-	delAckTimer   *sim.Timer
+	delAckH       sim.Handle
+	delAckArmed   bool
 	lastTriggerTS int64
 }
 
@@ -176,8 +178,6 @@ func NewConn(eng *sim.Engine, opts Options) *Conn {
 	if c.dstAddr == 0 && len(opts.Dst.Addrs()) > 0 {
 		c.dstAddr = opts.Dst.PrimaryAddr()
 	}
-	c.rtoTimer = sim.NewTimer(eng, c.onRTO)
-	c.delAckTimer = sim.NewTimer(eng, c.onDelAckTimeout)
 	opts.Src.Register(c.id, senderHalf{c})
 	opts.Dst.Register(c.id, receiverHalf{c})
 	return c
@@ -236,7 +236,7 @@ func (c *Conn) sendSYN() {
 	p := c.src.PacketPool().Control(c.id, c.srcAddr, c.dstAddr, true, c.ctrl.ECNCapable())
 	p.SendTime = int64(c.eng.Now())
 	c.src.Send(p)
-	c.rtoTimer.Reset(c.rtt.RTO())
+	c.armRTO(c.rtt.RTO())
 }
 
 // --- Sender half ---
@@ -253,7 +253,7 @@ func (c *Conn) senderDeliver(p *netem.Packet) {
 			if p.EchoTime >= 0 {
 				c.sampleRTT(sim.Duration(int64(c.eng.Now()) - p.EchoTime))
 			}
-			c.rtoTimer.Stop()
+			c.stopRTO()
 			c.publishMember()
 			c.trySend()
 			c.maybeComplete()
@@ -326,9 +326,9 @@ func (c *Conn) senderDeliver(p *netem.Packet) {
 			return
 		}
 		if c.sndNxt > c.sndUna {
-			c.rtoTimer.Reset(c.rtt.RTO())
+			c.armRTO(c.rtt.RTO())
 		} else {
-			c.rtoTimer.Stop()
+			c.stopRTO()
 		}
 
 	case p.Ack == c.sndUna && c.sndNxt > c.sndUna:
@@ -358,7 +358,7 @@ func (c *Conn) senderDeliver(p *netem.Packet) {
 				c.resend(c.sndUna)
 			}
 			retransmitted = true
-			c.rtoTimer.Reset(c.rtt.RTO())
+			c.armRTO(c.rtt.RTO())
 		} else if c.inRecovery {
 			// SACK recovery: each further duplicate ACK may release one
 			// more hole retransmission (packet conservation: the ACK's
@@ -447,8 +447,8 @@ func (c *Conn) trySend() {
 		c.sndNxt++
 		burst--
 	}
-	if c.sndNxt > c.sndUna && !c.rtoTimer.Armed() {
-		c.rtoTimer.Reset(c.rtt.RTO())
+	if c.sndNxt > c.sndUna && !c.rtoArmed {
+		c.armRTO(c.rtt.RTO())
 	}
 }
 
@@ -495,6 +495,64 @@ func (c *Conn) resend(seq int64) {
 	c.sendSegment(seq, c.payloadOf(seq), true)
 }
 
+// Conn event ops for the typed scheduling path: the retransmission and
+// delayed-ACK timers, the two timer churns of the per-packet hot path.
+const (
+	opRTO sim.Op = iota
+	opDelAck
+)
+
+// OnEvent implements sim.Target, expiring the connection's timers. Not for
+// direct use. Scheduling the connection itself with a pre-bound op — in
+// place of the former *sim.Timer pair and its captured method values —
+// keeps per-ACK timer re-arms allocation-free.
+func (c *Conn) OnEvent(op sim.Op, _ any) {
+	if op == opRTO {
+		c.rtoArmed = false
+		c.rtoH = sim.Handle{}
+		c.onRTO()
+	} else {
+		c.delAckArmed = false
+		c.delAckH = sim.Handle{}
+		c.onDelAckTimeout()
+	}
+}
+
+// armRTO (re)arms the retransmission timer, lazily cancelling any pending
+// expiration.
+func (c *Conn) armRTO(d sim.Duration) {
+	if c.rtoArmed {
+		c.eng.Cancel(c.rtoH)
+	}
+	c.rtoH = c.eng.ScheduleTarget(d, c, opRTO, nil)
+	c.rtoArmed = true
+}
+
+func (c *Conn) stopRTO() {
+	if c.rtoArmed {
+		c.eng.Cancel(c.rtoH)
+		c.rtoArmed = false
+		c.rtoH = sim.Handle{}
+	}
+}
+
+// armDelAck (re)arms the delayed-ACK timer.
+func (c *Conn) armDelAck(d sim.Duration) {
+	if c.delAckArmed {
+		c.eng.Cancel(c.delAckH)
+	}
+	c.delAckH = c.eng.ScheduleTarget(d, c, opDelAck, nil)
+	c.delAckArmed = true
+}
+
+func (c *Conn) stopDelAck() {
+	if c.delAckArmed {
+		c.eng.Cancel(c.delAckH)
+		c.delAckArmed = false
+		c.delAckH = sim.Handle{}
+	}
+}
+
 func (c *Conn) onRTO() {
 	switch c.state {
 	case StateSynSent:
@@ -529,7 +587,7 @@ func (c *Conn) onRTO() {
 		c.rtt.backoff()
 		c.resend(c.sndUna)
 		c.sndNxt = c.sndUna + 1
-		c.rtoTimer.Reset(c.rtt.RTO())
+		c.armRTO(c.rtt.RTO())
 	}
 }
 
@@ -546,8 +604,8 @@ func (c *Conn) maybeComplete() bool {
 		}
 		c.state = StateDone
 		c.doneAt = c.eng.Now()
-		c.rtoTimer.Stop()
-		c.delAckTimer.Stop()
+		c.stopRTO()
+		c.stopDelAck()
 		if c.member != nil {
 			c.member.Active = false
 			c.member.Cwnd = 0
@@ -562,8 +620,8 @@ func (c *Conn) maybeComplete() bool {
 
 func (c *Conn) fail() {
 	c.state = StateFailed
-	c.rtoTimer.Stop()
-	c.delAckTimer.Stop()
+	c.stopRTO()
+	c.stopDelAck()
 	if c.member != nil {
 		c.member.Active = false
 		c.member.Cwnd = 0
@@ -626,8 +684,8 @@ func (c *Conn) receiverDeliver(p *netem.Packet) {
 		c.delayCount++
 		if jumped || c.delayCount >= c.cfg.DelAckCount || c.echoPending() {
 			c.sendAck()
-		} else if !c.delAckTimer.Armed() {
-			c.delAckTimer.Reset(c.cfg.DelAckTimeout)
+		} else if !c.delAckArmed {
+			c.armDelAck(c.cfg.DelAckTimeout)
 		}
 	case p.Seq > c.rcvNxt:
 		if !c.ooo.Contains(p.Seq) {
@@ -681,7 +739,7 @@ func (c *Conn) sendAck() {
 	}
 	ack.EchoTime = c.lastTriggerTS
 	c.delayCount = 0
-	c.delAckTimer.Stop()
+	c.stopDelAck()
 	c.dst.Send(ack)
 }
 
