@@ -1,0 +1,125 @@
+// Command benchdiff gates CI on benchmark regressions: it compares two
+// `go test -bench` outputs and exits non-zero when a tracked benchmark's
+// best ns/op worsened by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 20] [-bench Name1,Name2] old.txt new.txt
+//
+// The best (minimum) ns/op across -count repetitions is compared, which
+// damps scheduler noise on shared CI runners. Benchmarks absent from the
+// old record are reported and skipped (new benchmarks must not fail the
+// first run that introduces them); benchmarks absent from the new output
+// fail, since silently dropping a gated benchmark would disable its gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	threshold = flag.Float64("threshold", 20, "fail when best ns/op regresses by more than this percent")
+	benchList = flag.String("bench", "", "comma-separated benchmark names to gate (default: every benchmark present in the old record)")
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkLinkForward-4   1000000   1234 ns/op   0 B/op   0 allocs/op".
+// The -4 GOMAXPROCS suffix is stripped so records from differently-sized
+// runners compare.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts the best (minimum) ns/op per benchmark name.
+func parseBench(out string) map[string]float64 {
+	best := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := best[m[1]]; !ok || ns < prev {
+			best[m[1]] = ns
+		}
+	}
+	return best
+}
+
+// compare returns human-readable per-benchmark verdicts and whether any
+// gated benchmark regressed past thresholdPct.
+func compare(old, new map[string]float64, names []string, thresholdPct float64) (report []string, failed bool) {
+	if len(names) == 0 {
+		for name := range old {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		o, haveOld := old[name]
+		n, haveNew := new[name]
+		switch {
+		case !haveOld && !haveNew:
+			report = append(report, fmt.Sprintf("?    %s: in neither record", name))
+		case !haveOld:
+			report = append(report, fmt.Sprintf("new  %s: %.0f ns/op (no old record, skipped)", name, n))
+		case !haveNew:
+			report = append(report, fmt.Sprintf("FAIL %s: present in old record but missing from new output", name))
+			failed = true
+		default:
+			pct := 100 * (n - o) / o
+			verdict := "ok  "
+			if pct > thresholdPct {
+				verdict = "FAIL"
+				failed = true
+			}
+			report = append(report, fmt.Sprintf("%s %s: %.0f -> %.0f ns/op (%+.1f%%, threshold +%.0f%%)",
+				verdict, name, o, n, pct, thresholdPct))
+		}
+	}
+	return report, failed
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-bench A,B] old.txt new.txt")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldOut, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newOut, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	var names []string
+	if *benchList != "" {
+		for _, n := range strings.Split(*benchList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	report, failed := compare(parseBench(string(oldOut)), parseBench(string(newOut)), names, *threshold)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOld = `
+goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLinkForward-4        	 1000000	      1000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLinkForward-4        	 1000000	       900 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleTarget-4     	 5000000	       250.5 ns/op
+BenchmarkDropped-4            	     100	     50000 ns/op
+PASS
+`
+
+const sampleNew = `
+BenchmarkLinkForward-16       	 1000000	      1050 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleTarget-16    	 5000000	       400 ns/op
+BenchmarkAdded-16             	     100	       123 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleOld)
+	if got["BenchmarkLinkForward"] != 900 {
+		t.Errorf("min ns/op across -count runs: got %v, want 900", got["BenchmarkLinkForward"])
+	}
+	if got["BenchmarkScheduleTarget"] != 250.5 {
+		t.Errorf("fractional ns/op: got %v", got["BenchmarkScheduleTarget"])
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	// LinkForward regressed 900 -> 1050 (+16.7%): inside a 20% gate.
+	report, failed := compare(parseBench(sampleOld), parseBench(sampleNew),
+		[]string{"BenchmarkLinkForward"}, 20)
+	if failed {
+		t.Fatalf("+16.7%% failed a 20%% gate:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	// ScheduleTarget regressed 250.5 -> 400 (+59.7%).
+	report, failed := compare(parseBench(sampleOld), parseBench(sampleNew),
+		[]string{"BenchmarkLinkForward", "BenchmarkScheduleTarget"}, 20)
+	if !failed {
+		t.Fatalf("+59.7%% passed a 20%% gate:\n%s", strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "FAIL BenchmarkScheduleTarget") {
+		t.Errorf("report does not name the regressed benchmark:\n%s", joined)
+	}
+	if !strings.Contains(joined, "ok   BenchmarkLinkForward") {
+		t.Errorf("report does not pass the in-threshold benchmark:\n%s", joined)
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	// New benchmark (no old record): skipped, not failed.
+	if report, failed := compare(parseBench(sampleOld), parseBench(sampleNew),
+		[]string{"BenchmarkAdded"}, 20); failed {
+		t.Fatalf("benchmark new to this run failed the gate:\n%s", strings.Join(report, "\n"))
+	}
+	// Gated benchmark dropped from the new output: that must fail.
+	if report, failed := compare(parseBench(sampleOld), parseBench(sampleNew),
+		[]string{"BenchmarkDropped"}, 20); !failed {
+		t.Fatalf("silently dropped benchmark passed the gate:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareDefaultsToOldSet(t *testing.T) {
+	// With no explicit list, every benchmark in the old record is gated —
+	// including the one missing from the new output.
+	_, failed := compare(parseBench(sampleOld), parseBench(sampleNew), nil, 20)
+	if !failed {
+		t.Fatal("default gate set missed the dropped benchmark")
+	}
+}

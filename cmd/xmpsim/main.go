@@ -46,6 +46,13 @@ Subcommands:
   sack      SACK vs NewReno ablation for the loss-based schemes
   vl2       scheme comparison on a VL2 Clos fabric (generalization)
   all       everything above
+  merge     reassemble per-shard -json exports into the full campaign output
+
+Campaign subcommands (matrix, table2, ablation, sweep, params,
+incastsweep, sack, vl2) accept -shard i/n to run only the cells owned by
+shard i of n; the shard file written by -json is the output, and
+"xmpsim merge shard-*.json" rebuilds tables byte-identical to an
+unsharded run.
 
 Flags (after the subcommand):
 `)
@@ -60,6 +67,7 @@ var (
 	quiet     = flag.Bool("q", false, "suppress per-run progress lines")
 	jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers for independent experiment cells")
 	jsonOut   = flag.String("json", "", "also write machine-readable results to this file (matrix/table1/table2/fig8-11)")
+	shardStr  = flag.String("shard", "", "run only shard i/n of a campaign's cells (e.g. 1/4); requires -json, which then receives the shard file for `xmpsim merge`")
 
 	// Profiling hooks for the hot-path work: point any of these at a file
 	// and inspect with `go tool pprof` / `go tool trace`.
@@ -131,6 +139,12 @@ func main() {
 
 	stopProfiling := startProfiling()
 	start := time.Now()
+	if spec, sharded := shardSpec(cmd); sharded {
+		runShardCampaign(cmd, spec)
+		stopProfiling()
+		fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	switch cmd {
 	case "fig1":
 		runFig1()
@@ -156,6 +170,8 @@ func main() {
 		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "vl2":
 		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
+	case "merge":
+		runMerge()
 	case "all":
 		runFig1()
 		runFig4()
@@ -236,15 +252,19 @@ func matrixBase() exp.FatTreeConfig {
 
 func runMatrix(cmd string) {
 	base := matrixBase()
-	// Scale the per-pattern default horizons.
-	patterns := []exp.Pattern{exp.Permutation, exp.Random, exp.Incast}
 	if *timescale != 1 {
 		// Durations default per pattern inside RunFatTree; apply the
 		// multiplier by setting them explicitly.
 		base.Duration = scaleT(200 * sim.Millisecond)
 	}
-	m := exp.RunMatrix(base, patterns, exp.Table1Schemes, *jobs, progress())
+	m := exp.RunMatrix(base, matrixPatterns, exp.Table1Schemes, *jobs, progress())
 	writeJSON(func(w *os.File) error { return m.WriteJSON(w) })
+	if cmd == "matrix" {
+		// The full campaign layout is shared with `xmpsim merge`, which
+		// must reproduce it byte for byte.
+		m.RenderCampaign(os.Stdout)
+		return
+	}
 	fmt.Println()
 	switch cmd {
 	case "table1":
@@ -259,40 +279,29 @@ func runMatrix(cmd string) {
 		m.RenderFig10(os.Stdout)
 	case "fig11":
 		m.RenderFig11(os.Stdout)
-	default:
-		m.RenderTable1(os.Stdout)
-		fmt.Println()
-		m.RenderTable3(os.Stdout)
-		fmt.Println()
-		m.RenderFig8(os.Stdout)
-		fmt.Println()
-		m.RenderFig9(os.Stdout)
-		fmt.Println()
-		m.RenderFig10(os.Stdout)
-		fmt.Println()
-		m.RenderFig11(os.Stdout)
 	}
 }
 
 func runTable2() {
 	// Both switch models for non-ECT traffic: the coexistence outcome
 	// hinges on whether loss-based flows may fill the buffer past K (see
-	// EXPERIMENTS.md).
-	for _, strict := range []bool{false, true} {
-		r := exp.RunTable2(exp.Table2Config{
-			KAry:         *kary,
-			SizeScale:    *sizescale,
-			Seed:         *seed,
-			Duration:     scaleT(200 * sim.Millisecond),
-			StrictNonECT: strict,
-			Jobs:         *jobs,
-		}, progress())
-		if strict {
-			writeJSON(func(w *os.File) error { return r.WriteJSON(w) })
-		}
-		fmt.Println()
-		r.Render(os.Stdout)
+	// EXPERIMENTS.md). The campaign spans both variants; rendering is
+	// shared with `xmpsim merge`, which must reproduce it byte for byte.
+	f := exp.RunTable2Campaign(exp.Table2Config{
+		KAry:      *kary,
+		SizeScale: *sizescale,
+		Seed:      *seed,
+		Duration:  scaleT(200 * sim.Millisecond),
+		Jobs:      *jobs,
+	}, exp.Unsharded, progress())
+	rs, err := exp.MergeTable2Shards([]*exp.ShardFile[exp.Table2Cell]{f})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+		os.Exit(1)
 	}
+	// -json keeps exporting the RED-strict variant, as before.
+	writeJSON(func(w *os.File) error { return rs[1].WriteJSON(w) })
+	exp.RenderTable2Campaign(os.Stdout, rs)
 }
 
 // writeJSON emits machine-readable results when -json is set.
@@ -315,6 +324,109 @@ func writeJSON(write func(*os.File) error) {
 
 func runAblation() {
 	exp.RenderAblations(os.Stdout, exp.RunAblations(10, *jobs))
+}
+
+// matrixPatterns is the canonical pattern axis of the matrix campaign.
+var matrixPatterns = []exp.Pattern{exp.Permutation, exp.Random, exp.Incast}
+
+// shardSpec parses -shard. It rejects the flag on subcommands that are
+// not campaigns (one-off figures, the derived table1/fig8-11 views, all,
+// merge) and insists on -json: a shard run's product is the shard file,
+// not a partial table.
+func shardSpec(cmd string) (exp.ShardSpec, bool) {
+	if *shardStr == "" {
+		return exp.Unsharded, false
+	}
+	switch cmd {
+	case "matrix", "table2", "ablation", "sweep", "params", "incastsweep", "sack", "vl2":
+	default:
+		fmt.Fprintf(os.Stderr, "xmpsim: -shard applies to campaign subcommands (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2), not %q\n", cmd)
+		os.Exit(2)
+	}
+	spec, err := exp.ParseShardSpec(*shardStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "xmpsim: -shard requires -json FILE to receive the shard file")
+		os.Exit(2)
+	}
+	return spec, true
+}
+
+// runShardCampaign runs one shard of a campaign and writes its shard
+// file to -json. Flags shape the campaign exactly as the unsharded
+// subcommand's, so merged output matches an unsharded run byte for byte.
+func runShardCampaign(cmd string, spec exp.ShardSpec) {
+	var enc func(*os.File) error
+	switch cmd {
+	case "matrix":
+		base := matrixBase()
+		if *timescale != 1 {
+			base.Duration = scaleT(200 * sim.Millisecond)
+		}
+		f := exp.RunMatrixShard(base, matrixPatterns, exp.Table1Schemes, spec, *jobs, progress())
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "table2":
+		f := exp.RunTable2Campaign(exp.Table2Config{
+			KAry:      *kary,
+			SizeScale: *sizescale,
+			Seed:      *seed,
+			Duration:  scaleT(200 * sim.Millisecond),
+			Jobs:      *jobs,
+		}, spec, progress())
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "ablation":
+		f := exp.RunAblationsShard(10, spec, *jobs)
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "sweep":
+		f := exp.RunSubflowSweepShard([]int{1, 2, 4, 8}, scaleT(50*sim.Millisecond), spec, *jobs)
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "params":
+		f := exp.RunParamSweepShard(nil, nil, scaleT(100*sim.Millisecond), spec, *jobs, progress())
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "incastsweep":
+		f := exp.RunIncastSweepShard(nil, scaleT(200*sim.Millisecond), spec, *jobs, progress())
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "sack":
+		f := exp.RunSACKAblationShard(scaleT(100*sim.Millisecond), spec, *jobs, progress())
+		enc = func(w *os.File) error { return f.Encode(w) }
+	case "vl2":
+		f := exp.RunVL2ComparisonShard(nil, scaleT(100*sim.Millisecond), spec, *jobs, progress())
+		enc = func(w *os.File) error { return f.Encode(w) }
+	}
+	writeJSON(enc)
+}
+
+// runMerge reads the shard files named on the command line, validates
+// that they form an exact partition of one campaign, and prints the full
+// campaign output to stdout — byte-identical to the unsharded
+// subcommand. -json additionally emits the matrix plot schema.
+func runMerge() {
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "xmpsim merge: no shard files given (usage: xmpsim merge [flags] shard-*.json)")
+		os.Exit(2)
+	}
+	blobs := make([]exp.ShardBlob, len(names))
+	for i, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim merge: %v\n", err)
+			os.Exit(1)
+		}
+		blobs[i] = exp.ShardBlob{Name: name, Data: data}
+	}
+	res, err := exp.MergeShardBlobs(blobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim merge: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		writeJSON(func(w *os.File) error { return res.WriteJSON(w) })
+	}
+	res.Render(os.Stdout)
 }
 
 func runSweep() {

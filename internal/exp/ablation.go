@@ -79,6 +79,12 @@ const time500ms = 500 * sim.Millisecond
 //   - CE feedback: the two-bit counter echo vs latched standard ECN;
 //   - the once-per-round reduction guard on vs off.
 func RunAblations(k, jobs int) []AblationResult {
+	return cellData(RunAblationsShard(k, Unsharded, jobs).Cells)
+}
+
+// RunAblationsShard is the sharded campaign entry behind RunAblations;
+// cell i is the i-th variant of the fixed ablation list.
+func RunAblationsShard(k int, shard ShardSpec, jobs int) *ShardFile[AblationResult] {
 	if k == 0 {
 		k = 10
 	}
@@ -110,11 +116,13 @@ func RunAblations(k, jobs int) []AblationResult {
 			func(*sim.RNG) netem.Queue { return netem.NewThresholdECN(limit, k) },
 			cc.EchoCounter, true},
 	}
-	return RunAll(len(variants), jobs,
+	cells := RunShard(len(variants), jobs, shard,
 		func(i int) AblationResult {
 			v := variants[i]
 			return ablationRun(v.name, v.q, v.echo, v.disableGuard)
 		}, nil)
+	desc := fmt.Sprintf("ablation K=%d limit=%d variants=%d", k, limit, len(variants))
+	return &ShardFile[AblationResult]{Manifest: newManifest(CampaignAblation, desc, shard, len(variants)), Cells: cells}
 }
 
 // RenderAblations prints the comparison table.
@@ -140,10 +148,16 @@ type SubflowSweepResult struct {
 // RunSubflowSweep measures permutation-pattern goodput as the number of
 // XMP subflows grows.
 func RunSubflowSweep(counts []int, duration sim.Duration, jobs int) []SubflowSweepResult {
+	return cellData(RunSubflowSweepShard(counts, duration, Unsharded, jobs).Cells)
+}
+
+// RunSubflowSweepShard is the sharded campaign entry behind
+// RunSubflowSweep; cell i is counts[i].
+func RunSubflowSweepShard(counts []int, duration sim.Duration, shard ShardSpec, jobs int) *ShardFile[SubflowSweepResult] {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8}
 	}
-	return RunAll(len(counts), jobs,
+	cells := RunShard(len(counts), jobs, shard,
 		func(i int) SubflowSweepResult {
 			r := RunFatTree(FatTreeConfig{
 				Pattern:  Permutation,
@@ -156,6 +170,8 @@ func RunSubflowSweep(counts []int, duration sim.Duration, jobs int) []SubflowSwe
 				Flows:      r.Collector.FlowsCompleted,
 			}
 		}, nil)
+	desc := fmt.Sprintf("sweep counts=%v duration=%d", counts, int64(duration))
+	return &ShardFile[SubflowSweepResult]{Manifest: newManifest(CampaignSubflow, desc, shard, len(counts)), Cells: cells}
 }
 
 func schemeXMPn(n int) workload.Scheme {

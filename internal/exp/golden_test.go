@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The golden files at the repo root are the full-scale `xmpsim matrix -q`
+// and `xmpsim table2 -q` outputs (stdout plus the stderr timing trailer).
+// These tests regenerate them through the sharded path — run in two shards,
+// exported through the real JSON encoding, merged — and fail with a
+// line-level diff on drift. A full-scale matrix takes minutes, so they only
+// run when XMP_GOLDEN=1 is set (CI's merge job covers the same contract by
+// diffing merged shard artifacts against the goldens).
+
+// stripTrailer drops the stderr timing trailer — the final blank line and
+// "[<cmd> completed in <dur>]" — which is not reproducible.
+func stripTrailer(golden string) string {
+	lines := strings.Split(golden, "\n")
+	for len(lines) > 0 {
+		last := lines[len(lines)-1]
+		if last == "" || strings.HasPrefix(last, "[") {
+			lines = lines[:len(lines)-1]
+			continue
+		}
+		break
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// diffLines reports the first few differing lines, 1-indexed.
+func diffLines(t *testing.T, name, want, got string) {
+	t.Helper()
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	var diffs []string
+	for i := 0; i < n && len(diffs) < 10; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			diffs = append(diffs, fmt.Sprintf("line %d:\n  golden: %q\n  merged: %q", i+1, w, g))
+		}
+	}
+	if len(diffs) > 0 {
+		t.Errorf("%s drifted from golden (%d/%d lines; first %d diffs):\n%s",
+			name, len(wl), len(gl), len(diffs), strings.Join(diffs, "\n"))
+	}
+}
+
+func goldenEnabled(t *testing.T) {
+	t.Helper()
+	if os.Getenv("XMP_GOLDEN") != "1" {
+		t.Skip("full-scale golden regeneration; set XMP_GOLDEN=1 to run (~minutes)")
+	}
+}
+
+func TestGoldenMatrixViaShards(t *testing.T) {
+	goldenEnabled(t)
+	golden, err := os.ReadFile("../../results_matrix.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := FatTreeConfig{K: 8, SizeScale: 16, Seed: 1}
+	patterns := []Pattern{Permutation, Random, Incast}
+	files := make([]*ShardFile[*FatTreeResult], 2)
+	for i := range files {
+		files[i] = RunMatrixShard(base, patterns, Table1Schemes, ShardSpec{i, 2}, 0, nil)
+	}
+	res, err := MergeShardBlobs(encodeBlobs(t, files))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var got bytes.Buffer
+	res.Render(&got)
+	diffLines(t, "results_matrix.txt", stripTrailer(string(golden)), stripTrailer(got.String()))
+}
+
+func TestGoldenTable2ViaShards(t *testing.T) {
+	goldenEnabled(t)
+	golden, err := os.ReadFile("../../results_table2.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*ShardFile[Table2Cell], 2)
+	for i := range files {
+		files[i] = RunTable2Campaign(Table2Config{}, ShardSpec{i, 2}, nil)
+	}
+	res, err := MergeShardBlobs(encodeBlobs(t, files))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var got bytes.Buffer
+	res.Render(&got)
+	diffLines(t, "results_table2.txt", stripTrailer(string(golden)), stripTrailer(got.String()))
+}

@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"xmp/internal/topo"
 	"xmp/internal/workload"
@@ -23,16 +25,60 @@ type Matrix struct {
 // base supplies scale knobs (Duration=0 picks per-pattern defaults).
 // progress, if non-nil, receives one line per finished run, in the same
 // cell order — and with byte-identical content — as a serial jobs=1 run.
+//
+// RunMatrix is the unsharded (0/1) case of RunMatrixShard, so campaigns
+// behave identically whether they run in one process or are partitioned
+// with -shard and reassembled with `xmpsim merge`.
 func RunMatrix(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme, jobs int, progress io.Writer) *Matrix {
-	m := &Matrix{
-		Patterns: patterns,
-		Schemes:  schemes,
-		Results:  make(map[Pattern]map[string]*FatTreeResult),
+	f := RunMatrixShard(base, patterns, schemes, Unsharded, jobs, progress)
+	m, err := MergeMatrixShards([]*ShardFile[*FatTreeResult]{f})
+	if err != nil {
+		panic("exp: " + err.Error()) // unreachable: a 0/1 shard set is complete by construction
 	}
-	for _, p := range patterns {
-		m.Results[p] = make(map[string]*FatTreeResult)
+	return m
+}
+
+// matrixConfigDesc canonicalizes every knob that shapes matrix cell
+// results; its hash gates merging, so two shards merge only if they were
+// produced by runs with identical flags.
+func matrixConfigDesc(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "matrix k=%d mark=%d queue=%d duration=%d sizescale=%d seed=%d rttstride=%d",
+		base.K, base.MarkThreshold, base.QueueLimit, int64(base.Duration), base.SizeScale, base.Seed, base.RTTStride)
+	b.WriteString(" patterns=")
+	for i, p := range patterns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(p))
 	}
-	results := RunAll(len(patterns)*len(schemes), jobs,
+	b.WriteString(" schemes=")
+	for i, s := range schemes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Label())
+		if s.Beta != 0 {
+			fmt.Fprintf(&b, "/b%d", s.Beta)
+		}
+	}
+	return b.String()
+}
+
+// matrixHeader carries the campaign axes in each shard file so merge can
+// rebuild the Matrix without re-deriving them from cells.
+type matrixHeader struct {
+	Patterns []Pattern         `json:"patterns"`
+	Schemes  []workload.Scheme `json:"schemes"`
+}
+
+// RunMatrixShard runs the (pattern, scheme) cells owned by shard and
+// packages them — with the manifest that lets merge validate the set —
+// into a ShardFile. Cell i is (patterns[i/len(schemes)],
+// schemes[i%len(schemes)]): the same row-major indexing RunAll has always
+// used, so shard 0/1 is exactly the historic unsharded campaign.
+func RunMatrixShard(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[*FatTreeResult] {
+	cells := RunShard(len(patterns)*len(schemes), jobs, shard,
 		func(i int) *FatTreeResult {
 			pi, si := gridRC(i, len(schemes))
 			cfg := base
@@ -45,11 +91,72 @@ func RunMatrix(base FatTreeConfig, patterns []Pattern, schemes []workload.Scheme
 				RenderFatTreeRun(progress, r)
 			}
 		})
-	for i, r := range results {
-		pi, si := gridRC(i, len(schemes))
-		m.Results[patterns[pi]][schemes[si].Label()] = r
+	header, err := json.Marshal(matrixHeader{Patterns: patterns, Schemes: schemes})
+	if err != nil {
+		panic("exp: " + err.Error())
 	}
-	return m
+	return &ShardFile[*FatTreeResult]{
+		Manifest: newManifest(CampaignMatrix, matrixConfigDesc(base, patterns, schemes), shard, len(patterns)*len(schemes)),
+		Header:   header,
+		Cells:    cells,
+	}
+}
+
+// MergeMatrixShards validates a matrix shard set and reassembles the full
+// Matrix. Coming from JSON, each cell's distributions are restored
+// sample-for-sample (with the exact insertion-order sum), so every
+// rendered table is byte-identical to the unsharded run's.
+func MergeMatrixShards(files []*ShardFile[*FatTreeResult]) (*Matrix, error) {
+	results, err := MergeShardCells(files)
+	if err != nil {
+		return nil, err
+	}
+	var header matrixHeader
+	if err := json.Unmarshal(files[0].Header, &header); err != nil {
+		return nil, fmt.Errorf("matrix shard header: %v", err)
+	}
+	if len(header.Patterns)*len(header.Schemes) != len(results) {
+		return nil, fmt.Errorf("matrix header declares %dx%d cells, shard set carries %d",
+			len(header.Patterns), len(header.Schemes), len(results))
+	}
+	m := &Matrix{
+		Patterns: header.Patterns,
+		Schemes:  header.Schemes,
+		Results:  make(map[Pattern]map[string]*FatTreeResult),
+	}
+	for _, p := range header.Patterns {
+		m.Results[p] = make(map[string]*FatTreeResult)
+	}
+	for i, r := range results {
+		pi, si := gridRC(i, len(header.Schemes))
+		want, got := header.Patterns[pi], r.Config.Pattern
+		if want != got {
+			return nil, fmt.Errorf("cell %d: pattern %q where the campaign grid expects %q", i, got, want)
+		}
+		if wantS, gotS := header.Schemes[si].Label(), r.Config.Scheme.Label(); wantS != gotS {
+			return nil, fmt.Errorf("cell %d: scheme %q where the campaign grid expects %q", i, gotS, wantS)
+		}
+		m.Results[header.Patterns[pi]][header.Schemes[si].Label()] = r
+	}
+	return m, nil
+}
+
+// RenderCampaign prints the whole matrix campaign — Tables 1 and 3 and
+// Figures 8-11 — exactly as `xmpsim matrix` prints it to stdout. Shared by
+// the live CLI path and `xmpsim merge` so both are byte-identical.
+func (m *Matrix) RenderCampaign(w io.Writer) {
+	fmt.Fprintln(w)
+	m.RenderTable1(w)
+	fmt.Fprintln(w)
+	m.RenderTable3(w)
+	fmt.Fprintln(w)
+	m.RenderFig8(w)
+	fmt.Fprintln(w)
+	m.RenderFig9(w)
+	fmt.Fprintln(w)
+	m.RenderFig10(w)
+	fmt.Fprintln(w)
+	m.RenderFig11(w)
 }
 
 // Get returns the result for (pattern, scheme).

@@ -1,0 +1,320 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmp/internal/sim"
+	"xmp/internal/workload"
+)
+
+func TestParseShardSpec(t *testing.T) {
+	good := map[string]ShardSpec{
+		"0/1":   {0, 1},
+		"2/4":   {2, 4},
+		" 1 /3": {1, 3},
+	}
+	for in, want := range good {
+		got, err := ParseShardSpec(in)
+		if err != nil {
+			t.Errorf("ParseShardSpec(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseShardSpec(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "3", "a/b", "4/4", "-1/2", "1/0", "1/-2"} {
+		if _, err := ParseShardSpec(in); err == nil {
+			t.Errorf("ParseShardSpec(%q): want error", in)
+		}
+	}
+}
+
+func TestShardSpecPartition(t *testing.T) {
+	// For any cell count, the shards of a count partition the cell space:
+	// each cell owned by exactly one shard, round-robin by index, and
+	// Owned agrees with Owns.
+	for _, count := range []int{1, 2, 3, 4, 7} {
+		for _, n := range []int{0, 1, 5, 12, 17} {
+			owner := make([]int, n)
+			for i := range owner {
+				owner[i] = -1
+			}
+			for idx := 0; idx < count; idx++ {
+				s := ShardSpec{Index: idx, Count: count}
+				owned := s.Owned(n)
+				seen := map[int]bool{}
+				for _, c := range owned {
+					seen[c] = true
+					if !s.Owns(c) {
+						t.Fatalf("%v.Owned(%d) lists %d but Owns is false", s, n, c)
+					}
+					if owner[c] != -1 {
+						t.Fatalf("cell %d owned by shards %d and %d of %d", c, owner[c], idx, count)
+					}
+					owner[c] = idx
+				}
+				for c := 0; c < n; c++ {
+					if s.Owns(c) != seen[c] {
+						t.Fatalf("%v: Owns(%d)=%v but Owned(%d)=%v", s, c, s.Owns(c), n, owned)
+					}
+					if s.Owns(c) && c%count != idx {
+						t.Fatalf("%v owns cell %d: not round-robin", s, c)
+					}
+				}
+			}
+			for c, o := range owner {
+				if o == -1 {
+					t.Fatalf("count=%d n=%d: cell %d unowned", count, n, c)
+				}
+			}
+		}
+	}
+}
+
+func TestShardManifest(t *testing.T) {
+	m := newManifest(CampaignParams, "params betas=[2 4] ks=[10]", ShardSpec{1, 3}, 8)
+	if m.SchemaVersion != ShardSchemaVersion || m.Campaign != CampaignParams {
+		t.Fatalf("manifest header: %+v", m)
+	}
+	if m.ShardIndex != 1 || m.ShardCount != 3 || m.TotalCells != 8 {
+		t.Fatalf("manifest spec: %+v", m)
+	}
+	if want := []int{1, 4, 7}; fmt.Sprint(m.CellIndices) != fmt.Sprint(want) {
+		t.Fatalf("cell indices %v, want %v", m.CellIndices, want)
+	}
+	if m.ConfigHash == "" || m.ConfigHash == configHash("something else") {
+		t.Fatalf("config hash not a function of the config: %q", m.ConfigHash)
+	}
+}
+
+func TestRunShardMatchesRunAll(t *testing.T) {
+	// The shards of any count, pooled, must reproduce RunAll's results, and
+	// each shard's done callbacks fire in ascending cell order.
+	full := RunAll(10, 4, func(i int) int { return i * i }, nil)
+	for _, count := range []int{1, 2, 3} {
+		got := make([]int, 10)
+		for idx := 0; idx < count; idx++ {
+			var doneOrder []int
+			cells := RunShard(10, 2, ShardSpec{idx, count},
+				func(i int) int { return i * i },
+				func(i int, r int) {
+					if r != i*i {
+						t.Fatalf("done(%d) got %d", i, r)
+					}
+					doneOrder = append(doneOrder, i)
+				})
+			for j, c := range cells {
+				got[c.Cell] = c.Data
+				if doneOrder[j] != c.Cell {
+					t.Fatalf("shard %d/%d: done order %v vs cells %v", idx, count, doneOrder, cells)
+				}
+			}
+		}
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("count=%d: cell %d = %d, want %d", count, i, got[i], full[i])
+			}
+		}
+	}
+}
+
+// mutatedSet builds a valid 3-shard manifest set and applies f to one
+// manifest.
+func mutatedSet(f func(*ShardManifest)) []ShardManifest {
+	ms := make([]ShardManifest, 3)
+	for i := range ms {
+		ms[i] = newManifest(CampaignSubflow, "sweep counts=[1 2 4] duration=1", ShardSpec{i, 3}, 3)
+	}
+	f(&ms[1])
+	return ms
+}
+
+func TestValidateShardSet(t *testing.T) {
+	if err := ValidateShardSet(mutatedSet(func(*ShardManifest) {})); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*ShardManifest)
+		wantErr string
+	}{
+		{"schema", func(m *ShardManifest) { m.SchemaVersion = 99 }, "schema version"},
+		{"campaign", func(m *ShardManifest) { m.Campaign = CampaignMatrix }, "campaign mismatch"},
+		{"config", func(m *ShardManifest) { m.ConfigHash = configHash("other") }, "config mismatch"},
+		{"count", func(m *ShardManifest) { m.ShardCount = 4 }, "mismatch"},
+		{"cells", func(m *ShardManifest) { m.TotalCells = 5 }, "cell count mismatch"},
+		{"duplicate", func(m *ShardManifest) {
+			*m = newManifest(CampaignSubflow, "sweep counts=[1 2 4] duration=1", ShardSpec{0, 3}, 3)
+		}, "given twice"},
+		{"overlap", func(m *ShardManifest) { m.CellIndices = []int{0} }, "overlap"},
+		{"range", func(m *ShardManifest) { m.CellIndices = []int{7} }, "outside"},
+		{"gap", func(m *ShardManifest) { m.CellIndices = nil }, "missing (gap)"},
+	}
+	for _, tc := range cases {
+		err := ValidateShardSet(mutatedSet(tc.mutate))
+		if err == nil {
+			t.Errorf("%s: invalid set accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+	if err := ValidateShardSet(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+// encodeBlobs round-trips shard files through their real JSON encoding,
+// exactly as `xmpsim -shard -json` + `xmpsim merge` do.
+func encodeBlobs[T any](t *testing.T, files []*ShardFile[T]) []ShardBlob {
+	t.Helper()
+	blobs := make([]ShardBlob, len(files))
+	for i, f := range files {
+		var buf bytes.Buffer
+		if err := f.Encode(&buf); err != nil {
+			t.Fatalf("encode shard %d: %v", i, err)
+		}
+		blobs[i] = ShardBlob{Name: fmt.Sprintf("shard-%d.json", i), Data: buf.Bytes()}
+	}
+	return blobs
+}
+
+// TestMatrixShardMergeByteIdentical pins the tentpole contract: running the
+// matrix campaign in n shards, exporting each through the real JSON
+// encoding, and merging must render byte-identically to the unsharded run —
+// for n=1 and n=4.
+func TestMatrixShardMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix runs are slow")
+	}
+	base := FatTreeConfig{K: 4, Duration: 40 * sim.Millisecond, SizeScale: 256}
+	patterns := []Pattern{Permutation, Incast}
+	schemes := []workload.Scheme{SchemeDCTCP, SchemeXMP2}
+
+	var want bytes.Buffer
+	RunMatrix(base, patterns, schemes, 4, nil).RenderCampaign(&want)
+
+	for _, count := range []int{1, 4} {
+		files := make([]*ShardFile[*FatTreeResult], count)
+		for i := 0; i < count; i++ {
+			files[i] = RunMatrixShard(base, patterns, schemes, ShardSpec{i, count}, 2, nil)
+		}
+		res, err := MergeShardBlobs(encodeBlobs(t, files))
+		if err != nil {
+			t.Fatalf("n=%d: merge: %v", count, err)
+		}
+		if res.Campaign != CampaignMatrix || res.Matrix == nil {
+			t.Fatalf("n=%d: merged %q, matrix=%v", count, res.Campaign, res.Matrix != nil)
+		}
+		var got bytes.Buffer
+		res.Render(&got)
+		if got.String() != want.String() {
+			t.Errorf("n=%d: merged render diverges from unsharded:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+				count, want.String(), got.String())
+		}
+	}
+}
+
+// TestTable2ShardMergeByteIdentical does the same for the coexistence
+// campaign, and additionally pins that the two-variant campaign reproduces
+// the historic back-to-back RunTable2 output.
+func TestTable2ShardMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table2 runs are slow")
+	}
+	cfg := Table2Config{
+		KAry:        4,
+		Duration:    40 * sim.Millisecond,
+		SizeScale:   256,
+		QueueLimits: []int{50, 100},
+		Others:      []workload.Scheme{SchemeTCP, SchemeDCTCP},
+		Jobs:        4,
+	}
+
+	// Historic output: the two variants run and rendered back to back.
+	var want bytes.Buffer
+	for _, strict := range []bool{false, true} {
+		c := cfg
+		c.StrictNonECT = strict
+		fmt.Fprintln(&want)
+		RunTable2(c, nil).Render(&want)
+	}
+
+	for _, count := range []int{1, 3} {
+		files := make([]*ShardFile[Table2Cell], count)
+		for i := 0; i < count; i++ {
+			files[i] = RunTable2Campaign(cfg, ShardSpec{i, count}, nil)
+		}
+		res, err := MergeShardBlobs(encodeBlobs(t, files))
+		if err != nil {
+			t.Fatalf("n=%d: merge: %v", count, err)
+		}
+		var got bytes.Buffer
+		res.Render(&got)
+		if got.String() != want.String() {
+			t.Errorf("n=%d: merged render diverges from historic RunTable2:\n--- historic ---\n%s\n--- merged ---\n%s",
+				count, want.String(), got.String())
+		}
+	}
+}
+
+// TestSweepShardMergeByteIdentical covers the list-shaped campaigns through
+// the same export/merge path using the fast subflow sweep.
+func TestSweepShardMergeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fat-tree runs are slow")
+	}
+	counts := []int{1, 2}
+	var want bytes.Buffer
+	RenderSubflowSweep(&want, RunSubflowSweep(counts, 20*sim.Millisecond, 2))
+
+	files := []*ShardFile[SubflowSweepResult]{
+		RunSubflowSweepShard(counts, 20*sim.Millisecond, ShardSpec{0, 2}, 1),
+		RunSubflowSweepShard(counts, 20*sim.Millisecond, ShardSpec{1, 2}, 1),
+	}
+	res, err := MergeShardBlobs(encodeBlobs(t, files))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var got bytes.Buffer
+	res.Render(&got)
+	if got.String() != want.String() {
+		t.Errorf("merged sweep diverges:\n--- unsharded ---\n%s\n--- merged ---\n%s", want.String(), got.String())
+	}
+}
+
+// TestMergeRejectsForeignCampaign pins the decode-side check that blobs
+// from different campaigns refuse to merge.
+func TestMergeRejectsForeignCampaign(t *testing.T) {
+	sweep := &ShardFile[SubflowSweepResult]{
+		Manifest: newManifest(CampaignSubflow, "sweep", ShardSpec{0, 2}, 2),
+		Cells:    []ShardCell[SubflowSweepResult]{{Cell: 0}},
+	}
+	params := &ShardFile[ParamPoint]{
+		Manifest: newManifest(CampaignParams, "params", ShardSpec{1, 2}, 2),
+		Cells:    []ShardCell[ParamPoint]{{Cell: 1}},
+	}
+	blobs := append(encodeBlobs(t, []*ShardFile[SubflowSweepResult]{sweep}),
+		encodeBlobs(t, []*ShardFile[ParamPoint]{params})...)
+	if _, err := MergeShardBlobs(blobs); err == nil || !strings.Contains(err.Error(), "campaign mismatch") {
+		t.Fatalf("foreign campaign accepted: %v", err)
+	}
+}
+
+// TestMergeRejectsCellManifestDisagreement pins the file-level check that
+// carried cells must match the manifest's claimed indices.
+func TestMergeRejectsCellManifestDisagreement(t *testing.T) {
+	f := &ShardFile[SubflowSweepResult]{
+		Manifest: newManifest(CampaignSubflow, "sweep", Unsharded, 2),
+		Cells:    []ShardCell[SubflowSweepResult]{{Cell: 0}},
+	}
+	if _, err := MergeShardCells([]*ShardFile[SubflowSweepResult]{f}); err == nil ||
+		!strings.Contains(err.Error(), "manifest lists") {
+		t.Fatalf("short cell list accepted: %v", err)
+	}
+	f.Cells = []ShardCell[SubflowSweepResult]{{Cell: 1}, {Cell: 0}}
+	if _, err := MergeShardCells([]*ShardFile[SubflowSweepResult]{f}); err == nil {
+		t.Fatal("misordered cell list accepted")
+	}
+}

@@ -30,6 +30,12 @@ type ParamPoint struct {
 // fixes (β=4, K=10) for 1 Gbps DCNs and defers the parameter-impact study
 // to future work; this harness is that study.
 func RunParamSweep(betas, ks []int, duration sim.Duration, jobs int, progress io.Writer) []ParamPoint {
+	return cellData(RunParamSweepShard(betas, ks, duration, Unsharded, jobs, progress).Cells)
+}
+
+// RunParamSweepShard is the sharded campaign entry behind RunParamSweep;
+// cell i is (betas[i/len(ks)], ks[i%len(ks)]).
+func RunParamSweepShard(betas, ks []int, duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[ParamPoint] {
 	if len(betas) == 0 {
 		betas = []int{2, 3, 4, 5, 6}
 	}
@@ -39,7 +45,8 @@ func RunParamSweep(betas, ks []int, duration sim.Duration, jobs int, progress io
 	if duration == 0 {
 		duration = 100 * sim.Millisecond
 	}
-	return RunAll(len(betas)*len(ks), jobs,
+	desc := fmt.Sprintf("params betas=%v ks=%v duration=%d", betas, ks, int64(duration))
+	cells := RunShard(len(betas)*len(ks), jobs, shard,
 		func(i int) ParamPoint {
 			bi, ki := gridRC(i, len(ks))
 			beta, k := betas[bi], ks[ki]
@@ -66,6 +73,7 @@ func RunParamSweep(betas, ks []int, duration sim.Duration, jobs int, progress io
 					p.Beta, p.K, p.GoodputMbps, p.RTTMs, p.Drops)
 			}
 		})
+	return &ShardFile[ParamPoint]{Manifest: newManifest(CampaignParams, desc, shard, len(betas)*len(ks)), Cells: cells}
 }
 
 // RenderParamSweep prints the grid with goodput and RTT per cell.
@@ -126,6 +134,12 @@ type IncastSweepPoint struct {
 // response burst per job) under an XMP-2 background — the regime where
 // the paper argues free buffer headroom absorbs burstiness.
 func RunIncastSweep(servers []int, duration sim.Duration, jobs int, progress io.Writer) []IncastSweepPoint {
+	return cellData(RunIncastSweepShard(servers, duration, Unsharded, jobs, progress).Cells)
+}
+
+// RunIncastSweepShard is the sharded campaign entry behind RunIncastSweep;
+// cell i is servers[i].
+func RunIncastSweepShard(servers []int, duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[IncastSweepPoint] {
 	if len(servers) == 0 {
 		servers = []int{4, 8, 16, 32}
 	}
@@ -164,7 +178,7 @@ func RunIncastSweep(servers []int, duration sim.Duration, jobs int, progress io.
 			BGGoodput: col.Goodput.Mean(),
 		}
 	}
-	return RunAll(len(servers), jobs,
+	cells := RunShard(len(servers), jobs, shard,
 		func(i int) IncastSweepPoint { return runOne(servers[i]) },
 		func(_ int, p IncastSweepPoint) {
 			if progress != nil {
@@ -172,6 +186,8 @@ func RunIncastSweep(servers []int, duration sim.Duration, jobs int, progress io.
 					p.Servers, p.JobsDone, p.P50Ms, p.P99Ms, 100*p.Above300)
 			}
 		})
+	desc := fmt.Sprintf("incastsweep servers=%v duration=%d", servers, int64(duration))
+	return &ShardFile[IncastSweepPoint]{Manifest: newManifest(CampaignIncast, desc, shard, len(servers)), Cells: cells}
 }
 
 // RenderIncastSweep prints the fan-in table.
@@ -199,6 +215,13 @@ type SACKAblationResult struct {
 // baselines — part of explaining the residual gap between this
 // simulator's NewReno recovery and the paper's Linux stack.
 func RunSACKAblation(duration sim.Duration, jobs int, progress io.Writer, schemes ...workload.Scheme) []SACKAblationResult {
+	return cellData(RunSACKAblationShard(duration, Unsharded, jobs, progress, schemes...).Cells)
+}
+
+// RunSACKAblationShard is the sharded campaign entry behind
+// RunSACKAblation; cell i is schemes[i] (plain and SACK runs stay within
+// one cell — they share nothing across schemes).
+func RunSACKAblationShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer, schemes ...workload.Scheme) *ShardFile[SACKAblationResult] {
 	if duration == 0 {
 		duration = 100 * sim.Millisecond
 	}
@@ -234,7 +257,7 @@ func RunSACKAblation(duration sim.Duration, jobs int, progress io.Writer, scheme
 			SACKGoodput:  run(true),
 		}
 	}
-	return RunAll(len(schemes), jobs,
+	cells := RunShard(len(schemes), jobs, shard,
 		func(i int) SACKAblationResult { return runOne(schemes[i]) },
 		func(_ int, r SACKAblationResult) {
 			if progress != nil {
@@ -242,6 +265,12 @@ func RunSACKAblation(duration sim.Duration, jobs int, progress io.Writer, scheme
 					r.Scheme, r.PlainGoodput, r.SACKGoodput)
 			}
 		})
+	var labels []string
+	for _, s := range schemes {
+		labels = append(labels, s.Label())
+	}
+	desc := fmt.Sprintf("sack schemes=%v duration=%d", labels, int64(duration))
+	return &ShardFile[SACKAblationResult]{Manifest: newManifest(CampaignSACK, desc, shard, len(schemes)), Cells: cells}
 }
 
 // RenderSACKAblation prints the comparison.

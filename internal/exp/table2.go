@@ -1,8 +1,10 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"xmp/internal/sim"
 	"xmp/internal/topo"
@@ -72,6 +74,91 @@ type Table2Cell struct {
 type Table2Result struct {
 	Config Table2Config
 	Cells  []Table2Cell
+}
+
+// table2ConfigDesc canonicalizes the semantic knobs of the coexistence
+// campaign (Jobs and StrictNonECT excluded: the former does not shape
+// results, the latter is a campaign axis, not a knob).
+func table2ConfigDesc(cfg Table2Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table2 kary=%d K=%d duration=%d sizescale=%d seed=%d queues=%v others=",
+		cfg.KAry, cfg.K, int64(cfg.Duration), cfg.SizeScale, cfg.Seed, cfg.QueueLimits)
+	for i, s := range cfg.Others {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.Label())
+	}
+	return b.String()
+}
+
+// RunTable2Campaign runs the owned cells of the full coexistence campaign:
+// both switch variants (non-ECT-fills-buffer first, then RED-strict — the
+// order `xmpsim table2` renders them), each over (queue limit, other
+// scheme). Cell indexing is variant-major: cell i selects variant
+// i/(len(queues)*len(others)), then (queue, other) row-major within it.
+// cfg.StrictNonECT is ignored — the campaign always spans both variants.
+func RunTable2Campaign(cfg Table2Config, shard ShardSpec, progress io.Writer) *ShardFile[Table2Cell] {
+	cfg.defaults()
+	perVariant := len(cfg.QueueLimits) * len(cfg.Others)
+	cells := RunShard(2*perVariant, cfg.Jobs, shard,
+		func(i int) Table2Cell {
+			c := cfg
+			c.StrictNonECT = i/perVariant == 1
+			qi, oi := gridRC(i%perVariant, len(cfg.Others))
+			return runCoexist(c, cfg.Others[oi], cfg.QueueLimits[qi])
+		},
+		func(_ int, cell Table2Cell) {
+			if progress != nil {
+				fmt.Fprintf(progress, "coexist q=%-4d XMP:%-6s  %7.1f : %-7.1f Mbps (%d/%d flows)\n",
+					cell.QueueLimit, cell.Other.Label(), cell.XMPGoodput, cell.OtherGoodput, cell.XMPFlows, cell.OtherFlows)
+			}
+		})
+	hdr := cfg
+	hdr.Jobs = 0
+	hdr.StrictNonECT = false
+	header, err := json.Marshal(hdr)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	return &ShardFile[Table2Cell]{
+		Manifest: newManifest(CampaignTable2, table2ConfigDesc(cfg), shard, 2*perVariant),
+		Header:   header,
+		Cells:    cells,
+	}
+}
+
+// MergeTable2Shards validates a table2 shard set and reassembles the two
+// variant results in render order: non-strict, then RED-strict.
+func MergeTable2Shards(files []*ShardFile[Table2Cell]) ([]*Table2Result, error) {
+	cells, err := MergeShardCells(files)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Table2Config
+	if err := json.Unmarshal(files[0].Header, &cfg); err != nil {
+		return nil, fmt.Errorf("table2 shard header: %v", err)
+	}
+	perVariant := len(cfg.QueueLimits) * len(cfg.Others)
+	if 2*perVariant != len(cells) {
+		return nil, fmt.Errorf("table2 header declares 2x%d cells, shard set carries %d", perVariant, len(cells))
+	}
+	out := make([]*Table2Result, 2)
+	for v := range out {
+		c := cfg
+		c.StrictNonECT = v == 1
+		out[v] = &Table2Result{Config: c, Cells: cells[v*perVariant : (v+1)*perVariant]}
+	}
+	return out, nil
+}
+
+// RenderTable2Campaign prints both variants exactly as `xmpsim table2`
+// prints them to stdout.
+func RenderTable2Campaign(w io.Writer, rs []*Table2Result) {
+	for _, r := range rs {
+		fmt.Fprintln(w)
+		r.Render(w)
+	}
 }
 
 // RunTable2 executes the sweep: one fat-tree run per (other scheme,

@@ -24,6 +24,12 @@ type VL2Point struct {
 // the generalization experiment showing XMP's behaviour is not an
 // artifact of the Fat-Tree.
 func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, jobs int, progress io.Writer) []VL2Point {
+	return cellData(RunVL2ComparisonShard(schemes, duration, Unsharded, jobs, progress).Cells)
+}
+
+// RunVL2ComparisonShard is the sharded campaign entry behind
+// RunVL2Comparison; cell i is schemes[i].
+func RunVL2ComparisonShard(schemes []workload.Scheme, duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[VL2Point] {
 	if len(schemes) == 0 {
 		schemes = Table1Schemes
 	}
@@ -61,7 +67,7 @@ func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, jobs int
 			Drops:       drops,
 		}
 	}
-	return RunAll(len(schemes), jobs,
+	cells := RunShard(len(schemes), jobs, shard,
 		func(i int) VL2Point { return runOne(schemes[i]) },
 		func(_ int, p VL2Point) {
 			if progress != nil {
@@ -69,6 +75,12 @@ func RunVL2Comparison(schemes []workload.Scheme, duration sim.Duration, jobs int
 					p.Scheme, p.GoodputMbps, p.RTTMs, p.Flows)
 			}
 		})
+	var labels []string
+	for _, s := range schemes {
+		labels = append(labels, s.Label())
+	}
+	desc := fmt.Sprintf("vl2 schemes=%v duration=%d", labels, int64(duration))
+	return &ShardFile[VL2Point]{Manifest: newManifest(CampaignVL2, desc, shard, len(schemes)), Cells: cells}
 }
 
 // RenderVL2 prints the comparison.

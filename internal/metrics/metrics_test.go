@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"testing"
@@ -196,5 +197,45 @@ func TestRateSeriesEdges(t *testing.T) {
 func TestMbps(t *testing.T) {
 	if Mbps(513.6e6) != 513.6 {
 		t.Fatal("Mbps conversion wrong")
+	}
+}
+
+func TestDistJSONRoundTrip(t *testing.T) {
+	// Shard export/merge relies on a decoded Dist being indistinguishable
+	// from the original: same samples, and the exact insertion-order sum so
+	// Mean() is bit-identical (re-summing sorted samples would not be).
+	var d Dist
+	rng := sim.NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		d.Add(rng.Float64() * 1e6 / 3)
+	}
+	d.Percentile(50) // force the sorted state before marshaling
+
+	b, err := json.Marshal(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Dist
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() {
+		t.Fatalf("N %d, want %d", got.N(), d.N())
+	}
+	if got.Mean() != d.Mean() {
+		t.Fatalf("Mean %v, want %v (exact)", got.Mean(), d.Mean())
+	}
+	for _, p := range []float64{0, 10, 50, 95, 100} {
+		if got.Percentile(p) != d.Percentile(p) {
+			t.Fatalf("P%v %v, want %v", p, got.Percentile(p), d.Percentile(p))
+		}
+	}
+	// A second round trip must be byte-stable.
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("marshal not stable:\n%s\nvs\n%s", b, b2)
 	}
 }

@@ -94,7 +94,13 @@ type SubflowSpec struct {
 
 // Options configures a Flow.
 type Options struct {
-	Name     string
+	// Name labels the flow in traces and examples. Hot launch paths should
+	// prefer NameFn, which defers the formatting to the first Name() call —
+	// campaigns that never read flow names then pay nothing for them.
+	Name string
+	// NameFn lazily produces the name when Name is empty; invoked at most
+	// once, on the first Name() call.
+	NameFn   func() string
 	Src, Dst *netem.Host
 	Subflows []SubflowSpec
 	// TotalBytes is the transfer size; negative means unbounded (the
@@ -123,6 +129,7 @@ type Options struct {
 // Flow is one (possibly multipath) data transfer.
 type Flow struct {
 	name      string
+	nameFn    func() string
 	eng       *sim.Engine
 	alg       Algorithm
 	group     *cc.FlowGroup
@@ -165,6 +172,7 @@ func New(eng *sim.Engine, opts Options) *Flow {
 
 	f := &Flow{
 		name:       opts.Name,
+		nameFn:     opts.NameFn,
 		eng:        eng,
 		alg:        opts.Algorithm,
 		group:      cc.NewFlowGroup(),
@@ -287,8 +295,15 @@ func (f *Flow) subflowDone() {
 	}
 }
 
-// Name returns the flow's label.
-func (f *Flow) Name() string { return f.name }
+// Name returns the flow's label, rendering and caching it on first use
+// when the flow was built with Options.NameFn.
+func (f *Flow) Name() string {
+	if f.name == "" && f.nameFn != nil {
+		f.name = f.nameFn()
+		f.nameFn = nil
+	}
+	return f.name
+}
 
 // Algorithm returns the flow's scheme.
 func (f *Flow) Algorithm() Algorithm { return f.alg }

@@ -103,6 +103,11 @@ type Config struct {
 	Stop sim.Time
 	// InitialCwnd for every flow (0 = default).
 	InitialCwnd int
+	// TraceNames labels every flow with "scheme:src->dst" for trace
+	// output. Off by default: a fat-tree campaign launches tens of
+	// thousands of flows whose names are never read, and formatting them
+	// eagerly was a measurable share of launch-path allocations.
+	TraceNames bool
 }
 
 // LaunchFlow starts one large flow of the configured scheme from host
@@ -124,10 +129,15 @@ func LaunchFlow(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)
 			DstAddr: net.AliasOf(dst, i),
 		}
 	}
+	var nameFn func() string
+	if cfg.TraceNames {
+		scheme := cfg.Scheme
+		nameFn = func() string { return fmt.Sprintf("%s:%d->%d", scheme.Label(), src, dst) }
+	}
 	col := cfg.Collector
 	eng := net.Engine()
 	f := mptcp.New(eng, mptcp.Options{
-		Name:        fmt.Sprintf("%s:%d->%d", cfg.Scheme.Label(), src, dst),
+		NameFn:      nameFn,
 		Src:         srcH,
 		Dst:         dstH,
 		Subflows:    specs,
@@ -163,8 +173,12 @@ func launchSmallTCP(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.F
 	net := cfg.Net
 	cat := net.Categorize(src, dst)
 	col := cfg.Collector
+	var nameFn func() string
+	if cfg.TraceNames {
+		nameFn = func() string { return fmt.Sprintf("tcp:%d->%d", src, dst) }
+	}
 	f := mptcp.New(net.Engine(), mptcp.Options{
-		Name:       fmt.Sprintf("tcp:%d->%d", src, dst),
+		NameFn:     nameFn,
 		Src:        net.Host(src),
 		Dst:        net.Host(dst),
 		Subflows:   []mptcp.SubflowSpec{{SrcAddr: net.AliasOf(src, 0), DstAddr: net.AliasOf(dst, 0)}},

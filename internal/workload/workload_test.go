@@ -229,3 +229,31 @@ func TestLaunchFlowRecordsCategory(t *testing.T) {
 		t.Fatalf("bytes moved %d", cfg.Collector.BytesMoved)
 	}
 }
+
+func TestFlowNamesLazyAndGated(t *testing.T) {
+	// Names are formatted only when TraceNames asks for them, and then
+	// lazily: the launch path itself never pays for Sprintf.
+	eng := sim.NewEngine()
+	ft := smallFatTree(eng)
+	cfg := baseConfig(ft, Scheme{Algorithm: mptcp.AlgXMP, Subflows: 2}, sim.MaxTime)
+
+	unnamed := LaunchFlow(&cfg, 0, 15, 64<<10, nil)
+	if unnamed.Name() != "" {
+		t.Fatalf("TraceNames off: flow named %q", unnamed.Name())
+	}
+
+	cfg.TraceNames = true
+	named := LaunchFlow(&cfg, 1, 14, 64<<10, nil)
+	small := launchSmallTCP(&cfg, 2, 13, 2048, nil)
+	if got := named.Name(); got != "XMP-2:1->14" {
+		t.Fatalf("large flow name %q", got)
+	}
+	if got := small.Name(); got != "tcp:2->13" {
+		t.Fatalf("small flow name %q", got)
+	}
+	// Cached: the second call returns the same string.
+	if named.Name() != "XMP-2:1->14" {
+		t.Fatal("name not cached")
+	}
+	drain(t, eng)
+}
