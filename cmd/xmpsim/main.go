@@ -14,11 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strings"
 	"time"
 
+	"xmp/internal/dispatch"
 	"xmp/internal/exp"
 	"xmp/internal/sim"
 )
@@ -47,12 +50,16 @@ Subcommands:
   vl2       scheme comparison on a VL2 Clos fabric (generalization)
   all       everything above
   merge     reassemble per-shard -json exports into the full campaign output
+  worker    serve the shard-task API for "xmpsim dispatch" (-listen :port)
+  dispatch  run a campaign across workers (-workers h:p,h:p -campaign NAME
+            -shards N); with no -workers, spawns -local N local workers
 
 Campaign subcommands (matrix, table2, ablation, sweep, params,
 incastsweep, sack, vl2) accept -shard i/n to run only the cells owned by
 shard i of n; the shard file written by -json is the output, and
 "xmpsim merge shard-*.json" rebuilds tables byte-identical to an
-unsharded run.
+unsharded run. merge also accepts glob patterns and directories (every
+*.json inside, e.g. the dispatch -outdir).
 
 Flags (after the subcommand):
 `)
@@ -68,6 +75,19 @@ var (
 	jobs      = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel workers for independent experiment cells")
 	jsonOut   = flag.String("json", "", "also write machine-readable results to this file (matrix/table1/table2/fig8-11)")
 	shardStr  = flag.String("shard", "", "run only shard i/n of a campaign's cells (e.g. 1/4); requires -json, which then receives the shard file for `xmpsim merge`")
+
+	// worker flags.
+	listenAddr = flag.String("listen", "127.0.0.1:0", "worker: address to serve the shard-task API on")
+	exitAfter  = flag.Int("exit-after", 0, "worker: fault injection — exit the process when task number N completes its first cell")
+
+	// dispatch flags.
+	workersStr   = flag.String("workers", "", "dispatch: comma-separated worker addresses (host:port); empty spawns -local workers")
+	localWorkers = flag.Int("local", 2, "dispatch: local worker subprocesses to spawn when -workers is empty")
+	campaignName = flag.String("campaign", "", "dispatch: campaign to run (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2)")
+	shardCount   = flag.Int("shards", 0, "dispatch: shard tasks to partition the campaign into (default: one per worker)")
+	outDir       = flag.String("outdir", "", "dispatch: also write the per-shard artifacts (shard-N.json) into this directory")
+	taskTimeout  = flag.Duration("task-timeout", 0, "dispatch: per-attempt timeout (default: derived from campaign scale)")
+	stallTimeout = flag.Duration("stall-timeout", 0, "dispatch: heartbeat stall timeout (default: derived from campaign scale)")
 
 	// Profiling hooks for the hot-path work: point any of these at a file
 	// and inspect with `go tool pprof` / `go tool trace`.
@@ -172,6 +192,10 @@ func main() {
 		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "merge":
 		runMerge()
+	case "worker":
+		runWorker()
+	case "dispatch":
+		runDispatch()
 	case "all":
 		runFig1()
 		runFig4()
@@ -257,7 +281,7 @@ func runMatrix(cmd string) {
 		// multiplier by setting them explicitly.
 		base.Duration = scaleT(200 * sim.Millisecond)
 	}
-	m := exp.RunMatrix(base, matrixPatterns, exp.Table1Schemes, *jobs, progress())
+	m := exp.RunMatrix(base, exp.MatrixPatterns, exp.Table1Schemes, *jobs, progress())
 	writeJSON(func(w *os.File) error { return m.WriteJSON(w) })
 	if cmd == "matrix" {
 		// The full campaign layout is shared with `xmpsim merge`, which
@@ -326,9 +350,6 @@ func runAblation() {
 	exp.RenderAblations(os.Stdout, exp.RunAblations(10, *jobs))
 }
 
-// matrixPatterns is the canonical pattern axis of the matrix campaign.
-var matrixPatterns = []exp.Pattern{exp.Permutation, exp.Random, exp.Incast}
-
 // shardSpec parses -shard. It rejects the flag on subcommands that are
 // not campaigns (one-off figures, the derived table1/fig8-11 views, all,
 // merge) and insists on -json: a shard run's product is the shard file,
@@ -355,68 +376,135 @@ func shardSpec(cmd string) (exp.ShardSpec, bool) {
 	return spec, true
 }
 
-// runShardCampaign runs one shard of a campaign and writes its shard
-// file to -json. Flags shape the campaign exactly as the unsharded
-// subcommand's, so merged output matches an unsharded run byte for byte.
-func runShardCampaign(cmd string, spec exp.ShardSpec) {
-	var enc func(*os.File) error
-	switch cmd {
-	case "matrix":
-		base := matrixBase()
-		if *timescale != 1 {
-			base.Duration = scaleT(200 * sim.Millisecond)
-		}
-		f := exp.RunMatrixShard(base, matrixPatterns, exp.Table1Schemes, spec, *jobs, progress())
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "table2":
-		f := exp.RunTable2Campaign(exp.Table2Config{
-			KAry:      *kary,
-			SizeScale: *sizescale,
-			Seed:      *seed,
-			Duration:  scaleT(200 * sim.Millisecond),
-			Jobs:      *jobs,
-		}, spec, progress())
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "ablation":
-		f := exp.RunAblationsShard(10, spec, *jobs)
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "sweep":
-		f := exp.RunSubflowSweepShard([]int{1, 2, 4, 8}, scaleT(50*sim.Millisecond), spec, *jobs)
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "params":
-		f := exp.RunParamSweepShard(nil, nil, scaleT(100*sim.Millisecond), spec, *jobs, progress())
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "incastsweep":
-		f := exp.RunIncastSweepShard(nil, scaleT(200*sim.Millisecond), spec, *jobs, progress())
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "sack":
-		f := exp.RunSACKAblationShard(scaleT(100*sim.Millisecond), spec, *jobs, progress())
-		enc = func(w *os.File) error { return f.Encode(w) }
-	case "vl2":
-		f := exp.RunVL2ComparisonShard(nil, scaleT(100*sim.Millisecond), spec, *jobs, progress())
-		enc = func(w *os.File) error { return f.Encode(w) }
+// campaignParams packages the CLI flags into the campaign registry's
+// parameter struct — the same struct a dispatch coordinator ships to
+// remote workers, so a local -shard run and a dispatched one execute
+// identical configurations.
+func campaignParams() exp.RunParams {
+	return exp.RunParams{
+		Timescale: *timescale,
+		SizeScale: *sizescale,
+		Seed:      *seed,
+		K:         *kary,
+		Jobs:      *jobs,
 	}
-	writeJSON(enc)
 }
 
-// runMerge reads the shard files named on the command line, validates
-// that they form an exact partition of one campaign, and prints the full
-// campaign output to stdout — byte-identical to the unsharded
-// subcommand. -json additionally emits the matrix plot schema.
+// runShardCampaign runs one shard of a campaign through the registry and
+// writes its shard file to -json. Flags shape the campaign exactly as the
+// unsharded subcommand's, so merged output matches an unsharded run byte
+// for byte.
+func runShardCampaign(cmd string, spec exp.ShardSpec) {
+	data, _, err := exp.RunCampaignShard(cmd, campaignParams(), spec, progress())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim: %v\n", err)
+		os.Exit(1)
+	}
+	writeJSON(func(w *os.File) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// runWorker serves the dispatch shard-task API until killed. The
+// announcement line on stdout carries the bound address so a coordinator
+// spawning local workers on :0 can find them.
+func runWorker() {
+	w := dispatch.NewWorker()
+	w.Log = progress()
+	if *exitAfter > 0 {
+		w.KillAfterTasks = *exitAfter
+		w.Kill = func() {
+			fmt.Fprintf(os.Stderr, "xmpsim worker: -exit-after %d reached, exiting mid-shard\n", *exitAfter)
+			os.Exit(3)
+		}
+	}
+	if err := dispatch.Serve(*listenAddr, w, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runDispatch distributes a campaign across workers and prints the merged
+// output — byte-identical to the unsharded subcommand. With no -workers it
+// spawns -local worker subprocesses of this same binary.
+func runDispatch() {
+	if *campaignName == "" {
+		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2)")
+		os.Exit(2)
+	}
+	var workers []string
+	for _, w := range strings.Split(*workersStr, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim dispatch: %v\n", err)
+			os.Exit(1)
+		}
+		var stop func()
+		workers, stop, err = dispatch.StartLocalWorkers(exe, *localWorkers, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim dispatch: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "xmpsim dispatch: spawned %d local workers: %s\n", len(workers), strings.Join(workers, ", "))
+	}
+	res, err := dispatch.Dispatch(*campaignName, campaignParams(), dispatch.Options{
+		Workers:      workers,
+		Shards:       *shardCount,
+		TaskTimeout:  *taskTimeout,
+		StallTimeout: *stallTimeout,
+		Log:          progress(),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim dispatch: %v\n", err)
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim dispatch: %v\n", err)
+			os.Exit(1)
+		}
+		for _, blob := range res.Blobs {
+			path := filepath.Join(*outDir, blob.Name)
+			if err := os.WriteFile(path, blob.Data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "xmpsim dispatch: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	if res.Reassigned > 0 || res.Deduped > 0 {
+		fmt.Fprintf(os.Stderr, "xmpsim dispatch: %d task(s) reassigned, %d duplicate completion(s) deduplicated\n",
+			res.Reassigned, res.Deduped)
+	}
+	if *jsonOut != "" {
+		writeJSON(func(w *os.File) error { return res.Merged.WriteJSON(w) })
+	}
+	res.Merged.Render(os.Stdout)
+}
+
+// runMerge reads the shard files named on the command line — literal
+// files, glob patterns, or directories of *.json artifacts (e.g. the
+// dispatch -outdir) — validates that they form an exact partition of one
+// campaign, and prints the full campaign output to stdout —
+// byte-identical to the unsharded subcommand. -json additionally emits
+// the matrix plot schema.
 func runMerge() {
 	names := flag.Args()
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "xmpsim merge: no shard files given (usage: xmpsim merge [flags] shard-*.json)")
+		fmt.Fprintln(os.Stderr, "xmpsim merge: no shard files given (usage: xmpsim merge [flags] shard-*.json | DIR)")
 		os.Exit(2)
 	}
-	blobs := make([]exp.ShardBlob, len(names))
-	for i, name := range names {
-		data, err := os.ReadFile(name)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "xmpsim merge: %v\n", err)
-			os.Exit(1)
-		}
-		blobs[i] = exp.ShardBlob{Name: name, Data: data}
+	blobs, err := exp.CollectShardBlobs(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmpsim merge: %v\n", err)
+		os.Exit(1)
 	}
 	res, err := exp.MergeShardBlobs(blobs)
 	if err != nil {

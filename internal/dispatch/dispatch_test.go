@@ -1,0 +1,416 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmp/internal/exp"
+)
+
+// The tests dispatch the ablation campaign: its dumbbell cells run in
+// milliseconds, and it exercises the full task protocol (probe, shard,
+// manifest, merge) exactly like the fat-tree campaigns.
+const testCampaign = exp.CampaignAblation
+
+func testParams() exp.RunParams { return exp.RunParams{Jobs: 2} }
+
+// fastOpts returns aggressive supervision timings so fault tests converge
+// in milliseconds instead of the production-scale defaults.
+func fastOpts(workers []string) Options {
+	return Options{
+		Workers:      workers,
+		PollInterval: 10 * time.Millisecond,
+		// Generous enough that a healthy worker's slowest cell (notably
+		// under -race) always advances the heartbeat in time.
+		StallTimeout: 3 * time.Second,
+		TaskTimeout:  60 * time.Second,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+	}
+}
+
+// serialRender runs the campaign unsharded through the registry and renders
+// it through the merge path — the byte-exact reference every dispatch
+// result must match.
+func serialRender(t *testing.T) string {
+	t.Helper()
+	data, _, err := exp.RunCampaignShard(testCampaign, testParams(), exp.Unsharded, nil)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	res, err := exp.MergeShardBlobs([]exp.ShardBlob{{Name: "serial.json", Data: data}})
+	if err != nil {
+		t.Fatalf("serial merge: %v", err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	return buf.String()
+}
+
+func renderResult(t *testing.T, res *Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res.Merged.Render(&buf)
+	return buf.String()
+}
+
+func startWorker(t *testing.T, w *Worker) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(w)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func addrOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestTaskIDDeterministic(t *testing.T) {
+	s := exp.ShardSpec{Index: 1, Count: 4}
+	a := TaskID("matrix", "abc", s)
+	b := TaskID("matrix", "abc", s)
+	if a != b {
+		t.Fatalf("TaskID not deterministic: %q vs %q", a, b)
+	}
+	if TaskID("matrix", "abd", s) == a || TaskID("table2", "abc", s) == a ||
+		TaskID("matrix", "abc", exp.ShardSpec{Index: 2, Count: 4}) == a {
+		t.Fatal("TaskID collision across distinct tasks")
+	}
+}
+
+// TestDispatchMatchesSerial is the happy path: two workers, more shards
+// than workers, output byte-identical to the unsharded run.
+func TestDispatchMatchesSerial(t *testing.T) {
+	want := serialRender(t)
+	a := startWorker(t, NewWorker())
+	b := startWorker(t, NewWorker())
+	res, err := Dispatch(testCampaign, testParams(), fastOpts([]string{addrOf(a), addrOf(b)}))
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if got := renderResult(t, res); got != want {
+		t.Errorf("dispatched output diverges from serial:\n--- serial ---\n%s\n--- dispatched ---\n%s", want, got)
+	}
+	if res.Reassigned != 0 || res.Deduped != 0 {
+		t.Errorf("clean run counted reassigned=%d deduped=%d", res.Reassigned, res.Deduped)
+	}
+	if len(res.Blobs) == 0 {
+		t.Error("no shard artifacts returned")
+	}
+}
+
+// crashable simulates a worker process crash: once killed, every connection
+// is severed and new requests die without a response.
+type crashable struct {
+	h    http.Handler
+	dead atomic.Bool
+}
+
+func (c *crashable) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if c.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	c.h.ServeHTTP(rw, r)
+}
+
+// TestDispatchWorkerKilledMidShard kills a worker after its first task
+// completes one cell — genuinely mid-shard — and requires the shard to be
+// reassigned and the merged output to stay byte-identical to serial.
+func TestDispatchWorkerKilledMidShard(t *testing.T) {
+	want := serialRender(t)
+
+	victim := NewWorker()
+	victim.KillAfterTasks = 1
+	crash := &crashable{h: victim}
+	srvA := httptest.NewServer(crash)
+	t.Cleanup(srvA.Close)
+	victim.Kill = func() {
+		crash.dead.Store(true)
+		srvA.CloseClientConnections()
+	}
+	srvB := startWorker(t, NewWorker())
+
+	opts := fastOpts([]string{addrOf(srvA), addrOf(srvB)})
+	opts.Shards = 2
+	res, err := Dispatch(testCampaign, testParams(), opts)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if got := renderResult(t, res); got != want {
+		t.Errorf("output after worker kill diverges from serial:\n--- serial ---\n%s\n--- dispatched ---\n%s", want, got)
+	}
+	if res.Reassigned < 1 {
+		t.Errorf("reassigned = %d, want >= 1 (a worker was killed mid-shard)", res.Reassigned)
+	}
+}
+
+// stallServer accepts any task and then reports zero progress forever — a
+// hung worker with a live TCP stack. done() flips it to 404 so the
+// coordinator's linger poll terminates promptly.
+func stallServer(t *testing.T) (srv *httptest.Server, done func()) {
+	t.Helper()
+	var gone atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /task", func(rw http.ResponseWriter, r *http.Request) {
+		var task Task
+		json.NewDecoder(r.Body).Decode(&task)
+		writeStatus(rw, http.StatusAccepted, TaskStatus{ID: task.ID, State: StateRunning})
+	})
+	mux.HandleFunc("GET /task/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		if gone.Load() {
+			httpError(rw, http.StatusNotFound, "unknown task")
+			return
+		}
+		writeStatus(rw, http.StatusOK, TaskStatus{ID: r.PathValue("id"), State: StateRunning})
+	})
+	srv = httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, func() { gone.Store(true) }
+}
+
+// TestDispatchStalledWorkerTimesOut submits to a worker whose heartbeat
+// never advances: the coordinator must detect the stall, retire the worker,
+// and retry on the healthy one.
+func TestDispatchStalledWorkerTimesOut(t *testing.T) {
+	want := serialRender(t)
+	staller, stallerGone := stallServer(t)
+	// The staller starts returning 404 once the healthy worker has the
+	// task, so the linger poll (which outlives the attempt) exits quickly.
+	inner := NewWorker()
+	healthy := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			stallerGone()
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(healthy.Close)
+
+	opts := fastOpts([]string{addrOf(staller), addrOf(healthy)})
+	opts.Shards = 1
+	var log bytes.Buffer
+	opts.Log = &log
+	res, err := Dispatch(testCampaign, testParams(), opts)
+	if err != nil {
+		t.Fatalf("dispatch: %v\nlog:\n%s", err, log.String())
+	}
+	if got := renderResult(t, res); got != want {
+		t.Errorf("output after stall diverges from serial")
+	}
+	if res.Reassigned != 1 {
+		t.Errorf("reassigned = %d, want 1\nlog:\n%s", res.Reassigned, log.String())
+	}
+	if !strings.Contains(log.String(), "stalled") {
+		t.Errorf("log does not mention the stall:\n%s", log.String())
+	}
+}
+
+// freezeProxy fronts a real worker but reports frozen zero-progress
+// heartbeats until thawed — the worker is healthy and finishes its shard,
+// the coordinator just can't see it, so it reassigns and the original
+// completion arrives late.
+type freezeProxy struct {
+	w      *Worker
+	frozen atomic.Bool
+}
+
+func (p *freezeProxy) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if p.frozen.Load() && r.Method == http.MethodGet &&
+		strings.HasPrefix(r.URL.Path, "/task/") && !strings.HasSuffix(r.URL.Path, "/result") {
+		writeStatus(rw, http.StatusOK, TaskStatus{State: StateRunning})
+		return
+	}
+	p.w.ServeHTTP(rw, r)
+}
+
+// TestDispatchDuplicateCompletionDeduped makes the same shard complete
+// twice — once on the reassigned worker, once (late) on the original — and
+// requires exactly one copy in the merge and a dedup count of 1.
+func TestDispatchDuplicateCompletionDeduped(t *testing.T) {
+	want := serialRender(t)
+	slow := &freezeProxy{w: NewWorker()}
+	slow.frozen.Store(true)
+	srvSlow := httptest.NewServer(slow)
+	t.Cleanup(srvSlow.Close)
+
+	inner := NewWorker()
+	var once sync.Once
+	srvFast := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			// Reassignment reached the healthy worker: thaw the original so
+			// its (already running or finished) shard surfaces as a late
+			// duplicate completion.
+			once.Do(func() { slow.frozen.Store(false) })
+		}
+		inner.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(srvFast.Close)
+
+	opts := fastOpts([]string{addrOf(srvSlow), addrOf(srvFast)})
+	opts.Shards = 1
+	var log bytes.Buffer
+	opts.Log = &log
+	res, err := Dispatch(testCampaign, testParams(), opts)
+	if err != nil {
+		t.Fatalf("dispatch: %v\nlog:\n%s", err, log.String())
+	}
+	if got := renderResult(t, res); got != want {
+		t.Errorf("output with duplicate completion diverges from serial")
+	}
+	if res.Deduped != 1 {
+		t.Errorf("deduped = %d, want 1\nlog:\n%s", res.Deduped, log.String())
+	}
+	if res.Reassigned != 1 {
+		t.Errorf("reassigned = %d, want 1", res.Reassigned)
+	}
+}
+
+// TestDispatchRejectsMismatchedResult gives the first worker a forged
+// result whose manifest carries a foreign config hash: the coordinator must
+// refuse to merge it, retire the worker, and recover on the healthy one.
+func TestDispatchRejectsMismatchedResult(t *testing.T) {
+	want := serialRender(t)
+	evil := http.NewServeMux()
+	var taskID atomic.Value
+	evil.HandleFunc("POST /task", func(rw http.ResponseWriter, r *http.Request) {
+		var task Task
+		json.NewDecoder(r.Body).Decode(&task)
+		taskID.Store(task.ID)
+		writeStatus(rw, http.StatusAccepted, TaskStatus{ID: task.ID, State: StateRunning})
+	})
+	evil.HandleFunc("GET /task/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		writeStatus(rw, http.StatusOK, TaskStatus{ID: r.PathValue("id"), State: StateDone})
+	})
+	evil.HandleFunc("GET /task/{id}/result", func(rw http.ResponseWriter, r *http.Request) {
+		// Internally consistent (hash matches desc) but not the config the
+		// coordinator asked for — a stale binary's output.
+		forged := struct {
+			Manifest exp.ShardManifest `json:"manifest"`
+		}{exp.ShardManifest{
+			Campaign:   testCampaign,
+			Config:     "evil config",
+			ConfigHash: exp.HashConfig("evil config"),
+			ShardIndex: 0,
+			ShardCount: 1,
+		}}
+		json.NewEncoder(rw).Encode(forged)
+	})
+	srvEvil := httptest.NewServer(evil)
+	t.Cleanup(srvEvil.Close)
+	srvGood := startWorker(t, NewWorker())
+
+	opts := fastOpts([]string{addrOf(srvEvil), addrOf(srvGood)})
+	opts.Shards = 1
+	var log bytes.Buffer
+	opts.Log = &log
+	res, err := Dispatch(testCampaign, testParams(), opts)
+	if err != nil {
+		t.Fatalf("dispatch: %v\nlog:\n%s", err, log.String())
+	}
+	if got := renderResult(t, res); got != want {
+		t.Errorf("output after forged result diverges from serial")
+	}
+	if res.Reassigned != 1 {
+		t.Errorf("reassigned = %d, want 1\nlog:\n%s", res.Reassigned, log.String())
+	}
+	if !strings.Contains(log.String(), "config hash mismatch") {
+		t.Errorf("log does not mention the hash mismatch:\n%s", log.String())
+	}
+}
+
+// TestWorkerRejectsForeignConfigHash pins the worker-side precheck: a task
+// whose config hash differs from this binary's own derivation is refused
+// with 409 before any simulation runs.
+func TestWorkerRejectsForeignConfigHash(t *testing.T) {
+	srv := startWorker(t, NewWorker())
+	desc, _, _, err := exp.CampaignProbe(testCampaign, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := exp.Unsharded
+	task := Task{
+		ID:         TaskID(testCampaign, exp.HashConfig("not the real config"), shard),
+		Campaign:   testCampaign,
+		Params:     testParams(),
+		ShardIndex: shard.Index,
+		ShardCount: shard.Count,
+		Config:     desc,
+		ConfigHash: exp.HashConfig("not the real config"),
+	}
+	body, _ := json.Marshal(task)
+	resp, err := http.Post(srv.URL+"/task", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(msg), "config hash mismatch") {
+		t.Fatalf("409 body does not explain the mismatch: %s", msg)
+	}
+}
+
+// TestWorkerIdempotentResubmission pins that re-posting a known task ID
+// returns the existing task's status instead of executing the shard again.
+func TestWorkerIdempotentResubmission(t *testing.T) {
+	w := NewWorker()
+	srv := startWorker(t, w)
+	desc, hash, _, err := exp.CampaignProbe(testCampaign, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := exp.Unsharded
+	task := Task{
+		ID:         TaskID(testCampaign, hash, shard),
+		Campaign:   testCampaign,
+		Params:     testParams(),
+		ShardIndex: shard.Index,
+		ShardCount: shard.Count,
+		Config:     desc,
+		ConfigHash: hash,
+	}
+	body, _ := json.Marshal(task)
+	post := func() int {
+		resp, err := http.Post(srv.URL+"/task", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", code)
+	}
+	if code := post(); code != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200 (existing status)", code)
+	}
+	w.mu.Lock()
+	accepted := w.accepted
+	w.mu.Unlock()
+	if accepted != 1 {
+		t.Fatalf("accepted = %d, want 1 — resubmission started the shard again", accepted)
+	}
+}
+
+// TestDispatchAllWorkersDead pins the terminal failure: when every worker
+// is gone, Dispatch reports the last error instead of hanging.
+func TestDispatchAllWorkersDead(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	srv.Close() // nothing listens: every request fails
+	opts := fastOpts([]string{addrOf(srv)})
+	opts.MaxAttempts = 2
+	_, err := Dispatch(testCampaign, testParams(), opts)
+	if err == nil {
+		t.Fatal("dispatch succeeded with no live workers")
+	}
+}

@@ -1,0 +1,85 @@
+package dispatch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// StartLocalWorkers is the zero-config fallback behind `xmpsim dispatch`
+// with no -workers: it spawns n worker subprocesses of the given binary on
+// ephemeral loopback ports, parses each one's announcement line, and
+// returns their addresses plus a stop function that kills them all. The
+// subprocesses run the exact same binary as the coordinator, so the
+// config-hash handshake cannot fail on version skew.
+func StartLocalWorkers(exe string, n int, stderr io.Writer) (addrs []string, stop func(), err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("dispatch: need at least 1 local worker, got %d", n)
+	}
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		for _, p := range procs {
+			p.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "worker", "-listen", "127.0.0.1:0")
+		cmd.Stderr = stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("dispatch: spawning local worker: %v", err)
+		}
+		procs = append(procs, cmd)
+		addr, err := readAnnouncement(out)
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("dispatch: local worker %d: %v", i, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}
+
+// readAnnouncement parses the "xmpsim worker listening on ADDR" line a
+// worker prints once its listener is bound.
+func readAnnouncement(out io.Reader) (string, error) {
+	type lineErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineErr, 1)
+	go func() {
+		line, err := bufio.NewReader(out).ReadString('\n')
+		ch <- lineErr{line, err}
+	}()
+	select {
+	case le := <-ch:
+		if le.err != nil {
+			return "", fmt.Errorf("worker exited before announcing its address: %v", le.err)
+		}
+		fields := strings.Fields(strings.TrimSpace(le.line))
+		if len(fields) == 0 {
+			return "", fmt.Errorf("empty announcement line")
+		}
+		addr := fields[len(fields)-1]
+		if !strings.Contains(addr, ":") {
+			return "", fmt.Errorf("unexpected announcement %q", le.line)
+		}
+		return addr, nil
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for the worker to announce its address")
+	}
+}

@@ -1,0 +1,239 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"xmp/internal/exp"
+)
+
+// Worker executes shard tasks for a coordinator. It is an http.Handler;
+// Serve wires it to a listener for the `xmpsim worker` subcommand, and
+// tests mount it on httptest servers.
+type Worker struct {
+	// Log, if non-nil, receives one line per task accepted/finished.
+	Log io.Writer
+	// KillAfterTasks > 0 injects a fault for testing the coordinator's
+	// reassignment path: when the KillAfterTasks-th accepted task
+	// completes its first cell — i.e. genuinely mid-shard — Kill is
+	// invoked. The xmpsim worker subcommand maps it to -exit-after and
+	// process exit; tests substitute a listener teardown.
+	KillAfterTasks int
+	Kill           func()
+
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	tasks    map[string]*workerTask
+	accepted int
+}
+
+type workerTask struct {
+	task   Task
+	state  string
+	done   atomic.Int64 // cells finished, observed by the status handler
+	total  int
+	errMsg string
+	result []byte
+}
+
+// NewWorker returns an idle worker.
+func NewWorker() *Worker {
+	w := &Worker{tasks: make(map[string]*workerTask), mux: http.NewServeMux()}
+	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	w.mux.HandleFunc("POST /task", w.handleSubmit)
+	w.mux.HandleFunc("GET /task/{id}", w.handleStatus)
+	w.mux.HandleFunc("GET /task/{id}/result", w.handleResult)
+	return w
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker: "+format+"\n", args...)
+	}
+}
+
+// ServeHTTP implements the worker protocol (see package doc).
+func (w *Worker) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	w.mux.ServeHTTP(rw, r)
+}
+
+func httpError(rw http.ResponseWriter, code int, format string, args ...any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a shard task. Submission is idempotent: re-posting
+// a task ID already known returns the existing status instead of starting
+// the work again, so a coordinator retrying a lost response cannot make a
+// worker run the same shard twice.
+func (w *Worker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
+	var t Task
+	if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+		httpError(rw, http.StatusBadRequest, "bad task: %v", err)
+		return
+	}
+	desc, hash, cells, err := exp.CampaignProbe(t.Campaign, t.Params)
+	if err != nil {
+		httpError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The config-hash precheck: this binary derives the canonical config
+	// for the shipped params itself. Disagreement means this worker would
+	// produce cells the coordinator must refuse — fail now, loudly,
+	// instead of after the simulation.
+	if hash != t.ConfigHash {
+		httpError(rw, http.StatusConflict,
+			"config hash mismatch for campaign %s: this worker derives %.12s (%q), task %s expects %.12s (%q) — stale or mismatched worker binary",
+			t.Campaign, hash, desc, t.ID, t.ConfigHash, t.Config)
+		return
+	}
+	shard := t.Shard()
+	if err := shard.Validate(); err != nil {
+		httpError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if want := TaskID(t.Campaign, t.ConfigHash, shard); t.ID != want {
+		httpError(rw, http.StatusBadRequest, "task ID %q is not the canonical ID %q for this task", t.ID, want)
+		return
+	}
+
+	w.mu.Lock()
+	if wt, ok := w.tasks[t.ID]; ok {
+		st := wt.status()
+		w.mu.Unlock()
+		w.logf("task %s resubmitted; already %s", t.ID, st.State)
+		writeStatus(rw, http.StatusOK, st)
+		return
+	}
+	wt := &workerTask{task: t, state: StateRunning, total: len(shard.Owned(cells))}
+	w.tasks[t.ID] = wt
+	w.accepted++
+	ordinal := w.accepted
+	w.mu.Unlock()
+
+	w.logf("task %s accepted: campaign %s shard %s (%d cells)", t.ID, t.Campaign, shard, wt.total)
+	go w.run(wt, ordinal)
+	writeStatus(rw, http.StatusAccepted, wt.status())
+}
+
+// run executes the shard and records the outcome.
+func (w *Worker) run(wt *workerTask, ordinal int) {
+	progress := &cellCounter{wt: wt}
+	if w.KillAfterTasks > 0 && ordinal == w.KillAfterTasks {
+		kill := w.Kill
+		if kill == nil {
+			kill = func() { panic("dispatch: KillAfterTasks set with no Kill func") }
+		}
+		progress.onFirstCell = kill
+	}
+	data, _, err := exp.RunCampaignShard(wt.task.Campaign, wt.task.Params, wt.task.Shard(), progress)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		wt.state = StateFailed
+		wt.errMsg = err.Error()
+		w.logf("task %s failed: %v", wt.task.ID, err)
+		return
+	}
+	wt.result = data
+	wt.state = StateDone
+	w.logf("task %s done (%d cells, %d bytes)", wt.task.ID, wt.total, len(data))
+}
+
+// cellCounter turns a campaign's per-cell progress lines into a cell
+// counter: every campaign runner emits exactly one newline-terminated
+// progress line as each cell's done callback fires, so counting newlines
+// counts finished cells without touching the runner signatures.
+type cellCounter struct {
+	wt          *workerTask
+	onFirstCell func()
+	fired       bool
+}
+
+func (c *cellCounter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			c.wt.done.Add(1)
+			if !c.fired && c.onFirstCell != nil {
+				c.fired = true
+				c.onFirstCell()
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (wt *workerTask) status() TaskStatus {
+	return TaskStatus{
+		ID:         wt.task.ID,
+		State:      wt.state,
+		CellsDone:  int(wt.done.Load()),
+		CellsTotal: wt.total,
+		Error:      wt.errMsg,
+	}
+}
+
+func writeStatus(rw http.ResponseWriter, code int, st TaskStatus) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(st)
+}
+
+func (w *Worker) lookup(id string) (*workerTask, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wt, ok := w.tasks[id]
+	return wt, ok
+}
+
+func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
+	wt, ok := w.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(rw, http.StatusNotFound, "unknown task %q", r.PathValue("id"))
+		return
+	}
+	w.mu.Lock()
+	st := wt.status()
+	w.mu.Unlock()
+	writeStatus(rw, http.StatusOK, st)
+}
+
+func (w *Worker) handleResult(rw http.ResponseWriter, r *http.Request) {
+	wt, ok := w.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(rw, http.StatusNotFound, "unknown task %q", r.PathValue("id"))
+		return
+	}
+	w.mu.Lock()
+	state, result := wt.state, wt.result
+	w.mu.Unlock()
+	if state != StateDone {
+		httpError(rw, http.StatusConflict, "task %s is %s, no result yet", wt.task.ID, state)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(result)
+}
+
+// Serve announces the worker's address on announce (the line the local
+// spawner parses) and serves the protocol until the listener fails —
+// forever, in practice, unless the process is killed.
+func Serve(listen string, w *Worker, announce io.Writer) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	if announce != nil {
+		fmt.Fprintf(announce, "xmpsim worker listening on %s\n", ln.Addr())
+	}
+	return http.Serve(ln, w)
+}

@@ -79,12 +79,12 @@ const time500ms = 500 * sim.Millisecond
 //   - CE feedback: the two-bit counter echo vs latched standard ECN;
 //   - the once-per-round reduction guard on vs off.
 func RunAblations(k, jobs int) []AblationResult {
-	return cellData(RunAblationsShard(k, Unsharded, jobs).Cells)
+	return cellData(RunAblationsShard(k, Unsharded, jobs, nil).Cells)
 }
 
 // RunAblationsShard is the sharded campaign entry behind RunAblations;
 // cell i is the i-th variant of the fixed ablation list.
-func RunAblationsShard(k int, shard ShardSpec, jobs int) *ShardFile[AblationResult] {
+func RunAblationsShard(k int, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[AblationResult] {
 	if k == 0 {
 		k = 10
 	}
@@ -120,7 +120,13 @@ func RunAblationsShard(k int, shard ShardSpec, jobs int) *ShardFile[AblationResu
 		func(i int) AblationResult {
 			v := variants[i]
 			return ablationRun(v.name, v.q, v.echo, v.disableGuard)
-		}, nil)
+		},
+		func(_ int, r AblationResult) {
+			if progress != nil {
+				fmt.Fprintf(progress, "ablation %-44s util=%.2f drops=%d marks=%d\n",
+					r.Variant, r.Utilization, r.Drops, r.Marks)
+			}
+		})
 	desc := fmt.Sprintf("ablation K=%d limit=%d variants=%d", k, limit, len(variants))
 	return &ShardFile[AblationResult]{Manifest: newManifest(CampaignAblation, desc, shard, len(variants)), Cells: cells}
 }
@@ -148,12 +154,12 @@ type SubflowSweepResult struct {
 // RunSubflowSweep measures permutation-pattern goodput as the number of
 // XMP subflows grows.
 func RunSubflowSweep(counts []int, duration sim.Duration, jobs int) []SubflowSweepResult {
-	return cellData(RunSubflowSweepShard(counts, duration, Unsharded, jobs).Cells)
+	return cellData(RunSubflowSweepShard(counts, duration, Unsharded, jobs, nil).Cells)
 }
 
 // RunSubflowSweepShard is the sharded campaign entry behind
 // RunSubflowSweep; cell i is counts[i].
-func RunSubflowSweepShard(counts []int, duration sim.Duration, shard ShardSpec, jobs int) *ShardFile[SubflowSweepResult] {
+func RunSubflowSweepShard(counts []int, duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[SubflowSweepResult] {
 	if len(counts) == 0 {
 		counts = []int{1, 2, 4, 8}
 	}
@@ -169,7 +175,13 @@ func RunSubflowSweepShard(counts []int, duration sim.Duration, shard ShardSpec, 
 				AvgGoodput: r.Collector.Goodput.Mean(),
 				Flows:      r.Collector.FlowsCompleted,
 			}
-		}, nil)
+		},
+		func(_ int, r SubflowSweepResult) {
+			if progress != nil {
+				fmt.Fprintf(progress, "sweep subflows=%d goodput=%6.1f Mbps flows=%d\n",
+					r.Subflows, r.AvgGoodput, r.Flows)
+			}
+		})
 	desc := fmt.Sprintf("sweep counts=%v duration=%d", counts, int64(duration))
 	return &ShardFile[SubflowSweepResult]{Manifest: newManifest(CampaignSubflow, desc, shard, len(counts)), Cells: cells}
 }

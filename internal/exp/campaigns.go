@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"xmp/internal/sim"
+)
+
+// This file is the campaign registry: every sharded campaign is reachable
+// by its string name with one uniform signature, so a remote shard task
+// (internal/dispatch) can name its runner without carrying Go code across
+// the wire. The registry replicates exactly the flag-to-config mapping of
+// the xmpsim subcommands — which themselves now run through it — so a
+// shard executed on a worker host is indistinguishable from one run by
+// `xmpsim <campaign> -shard i/n`.
+
+// RunParams carries the CLI-level knobs that shape a campaign's
+// results, in a JSON-serializable form a coordinator can ship to workers.
+// Zero fields mean the xmpsim defaults (Timescale 1, SizeScale 16, Seed 1,
+// K 8). Jobs caps the per-process worker pool and does not shape results.
+type RunParams struct {
+	Timescale float64 `json:"timescale,omitempty"`
+	SizeScale int64   `json:"sizescale,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Jobs      int     `json:"jobs,omitempty"`
+}
+
+// WithDefaults resolves zero fields to the xmpsim flag defaults.
+func (p RunParams) WithDefaults() RunParams {
+	if p.Timescale == 0 {
+		p.Timescale = 1
+	}
+	if p.SizeScale == 0 {
+		p.SizeScale = 16
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.K == 0 {
+		p.K = 8
+	}
+	return p
+}
+
+func (p RunParams) scaleT(d sim.Duration) sim.Duration {
+	return sim.Duration(float64(d) * p.Timescale)
+}
+
+// shardEncoder is what every Run*Shard runner returns: a shard file that
+// can report its manifest and encode itself.
+type shardEncoder interface {
+	ShardManifest() ShardManifest
+	Encode(io.Writer) error
+}
+
+// campaignRunners maps campaign names to their shard runners. Each entry
+// mirrors the corresponding xmpsim subcommand's flag handling; changing
+// one without the other shifts the config hash and makes merges refuse the
+// mix, so drift fails loudly rather than silently.
+var campaignRunners = map[string]func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder{
+	CampaignMatrix: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		base := FatTreeConfig{K: p.K, SizeScale: p.SizeScale, Seed: p.Seed}
+		if p.Timescale != 1 {
+			// Durations default per pattern inside RunFatTree; apply the
+			// multiplier by setting them explicitly.
+			base.Duration = p.scaleT(200 * sim.Millisecond)
+		}
+		return RunMatrixShard(base, MatrixPatterns, Table1Schemes, shard, p.Jobs, progress)
+	},
+	CampaignTable2: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunTable2Campaign(Table2Config{
+			KAry:      p.K,
+			SizeScale: p.SizeScale,
+			Seed:      p.Seed,
+			Duration:  p.scaleT(200 * sim.Millisecond),
+			Jobs:      p.Jobs,
+		}, shard, progress)
+	},
+	CampaignAblation: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunAblationsShard(10, shard, p.Jobs, progress)
+	},
+	CampaignSubflow: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunSubflowSweepShard(nil, p.scaleT(50*sim.Millisecond), shard, p.Jobs, progress)
+	},
+	CampaignParams: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunParamSweepShard(nil, nil, p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
+	},
+	CampaignIncast: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunIncastSweepShard(nil, p.scaleT(200*sim.Millisecond), shard, p.Jobs, progress)
+	},
+	CampaignSACK: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunSACKAblationShard(p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
+	},
+	CampaignVL2: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunVL2ComparisonShard(nil, p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
+	},
+}
+
+// CampaignNames returns the registered campaign names, sorted.
+func CampaignNames() []string {
+	names := make([]string, 0, len(campaignRunners))
+	for n := range campaignRunners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// probeSpec owns no cell of any real campaign (a campaign would need 2^30
+// cells for cell probeCount-1 to exist), so running it executes zero
+// simulations while still stamping the manifest — the config description,
+// its hash and the total cell count come from exactly the code path a real
+// shard runs, with no separately-maintained copy to drift.
+const probeCount = 1 << 30
+
+var probeSpec = ShardSpec{Index: probeCount - 1, Count: probeCount}
+
+// CampaignProbe resolves a campaign's canonical config description, its
+// SHA-256 hash and the campaign-wide cell count for the given params,
+// without running any simulation.
+func CampaignProbe(name string, p RunParams) (desc, hash string, cells int, err error) {
+	run, ok := campaignRunners[name]
+	if !ok {
+		return "", "", 0, fmt.Errorf("unknown campaign %q (have %v)", name, CampaignNames())
+	}
+	m := run(p.WithDefaults(), probeSpec, nil).ShardManifest()
+	return m.Config, m.ConfigHash, m.TotalCells, nil
+}
+
+// RunCampaignShard executes one shard of the named campaign and returns
+// the encoded shard file — the same bytes `xmpsim <name> -shard i/n -json`
+// writes — plus its manifest. progress, if non-nil, receives the
+// campaign's per-cell progress lines in deterministic cell order.
+func RunCampaignShard(name string, p RunParams, shard ShardSpec, progress io.Writer) ([]byte, ShardManifest, error) {
+	run, ok := campaignRunners[name]
+	if !ok {
+		return nil, ShardManifest{}, fmt.Errorf("unknown campaign %q (have %v)", name, CampaignNames())
+	}
+	if err := shard.Validate(); err != nil {
+		return nil, ShardManifest{}, err
+	}
+	f := run(p.WithDefaults(), shard, progress)
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		return nil, ShardManifest{}, err
+	}
+	return buf.Bytes(), f.ShardManifest(), nil
+}
+
+// HashConfig returns the hex SHA-256 of a canonical campaign config
+// description — the hash stamped into shard manifests and verified by the
+// dispatch layer on every task and result.
+func HashConfig(desc string) string { return configHash(desc) }

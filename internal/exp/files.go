@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CollectShardBlobs resolves the shard-file arguments of `xmpsim merge`
+// into loaded blobs. Each argument may be a literal file, a glob pattern
+// (shard-*.json), or a directory — the coordinator writes one artifact per
+// shard into its -outdir, and pointing merge at that directory picks up
+// every *.json inside. Duplicate paths are read once; an argument that
+// resolves to nothing is an error (a silently-ignored pattern would merge
+// an incomplete shard set, and the gap check's message would point at the
+// wrong cause).
+func CollectShardBlobs(args []string) ([]ShardBlob, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, arg := range args {
+		if fi, err := os.Stat(arg); err == nil && fi.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(arg, "*.json"))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", arg, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("%s: directory contains no *.json shard files", arg)
+			}
+			sort.Strings(matches)
+			for _, m := range matches {
+				add(m)
+			}
+			continue
+		}
+		matches, err := filepath.Glob(arg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad pattern: %v", arg, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no shard file matches", arg)
+		}
+		sort.Strings(matches)
+		for _, m := range matches {
+			add(m)
+		}
+	}
+	blobs := make([]ShardBlob, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		blobs = append(blobs, ShardBlob{Name: p, Data: data})
+	}
+	return blobs, nil
+}

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCollectShardBlobs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := write("shard-0.json", "A")
+	b := write("shard-1.json", "B")
+	write("notes.txt", "ignored")
+
+	names := func(blobs []ShardBlob) []string {
+		out := make([]string, len(blobs))
+		for i, bl := range blobs {
+			out[i] = filepath.Base(bl.Name)
+		}
+		return out
+	}
+
+	// Literal files.
+	blobs, err := CollectShardBlobs([]string{a, b})
+	if err != nil {
+		t.Fatalf("literals: %v", err)
+	}
+	if got := names(blobs); len(got) != 2 || got[0] != "shard-0.json" || got[1] != "shard-1.json" {
+		t.Fatalf("literals = %v", got)
+	}
+	if string(blobs[0].Data) != "A" || string(blobs[1].Data) != "B" {
+		t.Fatal("blob contents not read")
+	}
+
+	// Glob pattern.
+	blobs, err = CollectShardBlobs([]string{filepath.Join(dir, "shard-*.json")})
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if got := names(blobs); len(got) != 2 {
+		t.Fatalf("glob = %v", got)
+	}
+
+	// Directory: every *.json inside, the .txt excluded.
+	blobs, err = CollectShardBlobs([]string{dir})
+	if err != nil {
+		t.Fatalf("dir: %v", err)
+	}
+	if got := names(blobs); len(got) != 2 {
+		t.Fatalf("dir = %v", got)
+	}
+
+	// Overlapping args dedupe to a single read.
+	blobs, err = CollectShardBlobs([]string{a, filepath.Join(dir, "shard-*.json"), dir})
+	if err != nil {
+		t.Fatalf("overlap: %v", err)
+	}
+	if got := names(blobs); len(got) != 2 {
+		t.Fatalf("overlap = %v", got)
+	}
+}
+
+func TestCollectShardBlobsErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CollectShardBlobs([]string{filepath.Join(dir, "missing-*.json")}); err == nil || !strings.Contains(err.Error(), "no shard file matches") {
+		t.Fatalf("empty glob: %v", err)
+	}
+	if _, err := CollectShardBlobs([]string{dir}); err == nil || !strings.Contains(err.Error(), "no *.json") {
+		t.Fatalf("empty dir: %v", err)
+	}
+}

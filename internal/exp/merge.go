@@ -35,6 +35,10 @@ type ShardFile[T any] struct {
 	Cells    []ShardCell[T]  `json:"cells"`
 }
 
+// ShardManifest returns the file's manifest; with Encode it forms the
+// type-erased view the campaign registry hands to the dispatch layer.
+func (f *ShardFile[T]) ShardManifest() ShardManifest { return f.Manifest }
+
 // Encode writes the shard file as indented JSON.
 func (f *ShardFile[T]) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)

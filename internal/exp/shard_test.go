@@ -270,8 +270,8 @@ func TestSweepShardMergeByteIdentical(t *testing.T) {
 	RenderSubflowSweep(&want, RunSubflowSweep(counts, 20*sim.Millisecond, 2))
 
 	files := []*ShardFile[SubflowSweepResult]{
-		RunSubflowSweepShard(counts, 20*sim.Millisecond, ShardSpec{0, 2}, 1),
-		RunSubflowSweepShard(counts, 20*sim.Millisecond, ShardSpec{1, 2}, 1),
+		RunSubflowSweepShard(counts, 20*sim.Millisecond, ShardSpec{0, 2}, 1, nil),
+		RunSubflowSweepShard(counts, 20*sim.Millisecond, ShardSpec{1, 2}, 1, nil),
 	}
 	res, err := MergeShardBlobs(encodeBlobs(t, files))
 	if err != nil {

@@ -198,6 +198,30 @@ func TestSwitchDuplicateRoutePanics(t *testing.T) {
 	sw.AddRoute(5, l)
 }
 
+func TestSwitchDenseTableBounds(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(1, "sw", "rack")
+	l := NewLink(eng, "l", Gbps, 0, NewDropTail(10), &sink{eng: eng})
+	// Install out of order: the table must grow to cover the highest addr
+	// and leave the gaps unroutable.
+	sw.AddRoute(9, l)
+	sw.AddRoute(3, l)
+	if sw.Route(9) != l || sw.Route(3) != l {
+		t.Fatal("installed routes not found")
+	}
+	for _, dst := range []Addr{0, 4, 10, 1 << 20, -1} {
+		if sw.Route(dst) != nil {
+			t.Fatalf("Route(%d) = non-nil, want nil", dst)
+		}
+	}
+	// Addresses past the table end are unroutable drops, not panics.
+	sw.Receive(NewDataPacket(1, 0, 1<<20, 0, MSS, false))
+	sw.Receive(NewDataPacket(1, 0, 4, 0, MSS, false))
+	if sw.Unroutable() != 2 {
+		t.Fatalf("unroutable = %d, want 2", sw.Unroutable())
+	}
+}
+
 func TestTTLExpiryBreaksRoutingLoops(t *testing.T) {
 	eng := sim.NewEngine()
 	a := NewSwitch(1, "a", "core")

@@ -17,11 +17,14 @@ type Endpoint interface {
 
 // Switch is an output-queued switch: a static forwarding table maps every
 // destination address to an egress link. Routing tables are computed by the
-// topology builders (two-level lookup for the Fat-Tree).
+// topology builders (two-level lookup for the Fat-Tree). Addresses are
+// small, dense integers assigned contiguously from 1 by the topology
+// builders, so the table is a flat slice indexed by Addr — forwarding is a
+// bounds check and a load instead of a map probe on the per-packet path.
 type Switch struct {
 	ID    NodeID
 	Name  string
-	table map[Addr]*Link
+	table []*Link // indexed by Addr; nil = no route
 	// Layer tags the switch for per-layer utilization reporting
 	// ("core", "aggregation", "rack").
 	Layer string
@@ -32,27 +35,43 @@ type Switch struct {
 
 // NewSwitch returns an empty switch.
 func NewSwitch(id NodeID, name, layer string) *Switch {
-	return &Switch{ID: id, Name: name, Layer: layer, table: make(map[Addr]*Link)}
+	return &Switch{ID: id, Name: name, Layer: layer}
 }
 
 // AddRoute installs dst -> out. Installing a second route for the same
 // destination panics: topology construction bugs should fail loudly.
 func (s *Switch) AddRoute(dst Addr, out *Link) {
-	if _, dup := s.table[dst]; dup {
+	if dst < 0 {
+		panic(fmt.Sprintf("netem: negative addr %d on %s", dst, s.Name))
+	}
+	if int(dst) >= len(s.table) {
+		// Builders install addresses in ascending order, so grow with
+		// headroom — exact-size growth would copy the table once per
+		// install, O(n²) over topology construction.
+		grown := make([]*Link, 1+int(dst)+int(dst)/2)
+		copy(grown, s.table)
+		s.table = grown
+	}
+	if s.table[dst] != nil {
 		panic(fmt.Sprintf("netem: duplicate route for addr %d on %s", dst, s.Name))
 	}
 	s.table[dst] = out
 }
 
 // Route returns the egress link for dst, or nil.
-func (s *Switch) Route(dst Addr) *Link { return s.table[dst] }
+func (s *Switch) Route(dst Addr) *Link {
+	if dst < 0 || int(dst) >= len(s.table) {
+		return nil
+	}
+	return s.table[dst]
+}
 
 // Receive implements Receiver: look up the egress and forward. Packets
 // dropped here (unroutable, TTL expiry) leave the simulation and are
 // released to their pool.
 func (s *Switch) Receive(p *Packet) {
-	out, ok := s.table[p.Dst]
-	if !ok {
+	dst := p.Dst
+	if dst < 0 || int(dst) >= len(s.table) || s.table[dst] == nil {
 		s.unroutable++
 		p.Release()
 		return
@@ -62,7 +81,7 @@ func (s *Switch) Receive(p *Packet) {
 		p.Release()
 		return
 	}
-	out.Send(p)
+	s.table[dst].Send(p)
 }
 
 // Unroutable returns the count of packets dropped for missing routes.
