@@ -106,10 +106,26 @@ func (l *Link) OnEvent(op sim.Op, arg any) {
 	p := arg.(*Packet)
 	if op == opTxDone {
 		l.finishTransmit(p)
-	} else {
-		l.dst.Receive(p)
+		return
 	}
+	// Propagation done. Packets carrying a resolved path advance straight
+	// to the next link — the intermediate switch's Route lookup (and its
+	// TTL decrement, redundant on a loop-free resolved path) is skipped;
+	// queueing, marking and drop decisions still happen in the next link's
+	// Send, so the observable behaviour is identical to the hop-by-hop
+	// walk. The final hop falls through to the destination receiver.
+	if pa := p.path; pa != nil {
+		if h := int(p.hop) + 1; h < len(pa.hops) {
+			p.hop = int32(h)
+			pa.hops[h].Send(p)
+			return
+		}
+	}
+	l.dst.Receive(p)
 }
+
+// Dst returns the receiver this link feeds (used by path resolution).
+func (l *Link) Dst() Receiver { return l.dst }
 
 func (l *Link) startTransmit() {
 	p := l.queue.Dequeue(l.eng.Now())

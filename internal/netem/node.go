@@ -58,6 +58,18 @@ func (s *Switch) AddRoute(dst Addr, out *Link) {
 	s.table[dst] = out
 }
 
+// Reserve pre-sizes the forwarding table for addresses up to and including
+// maxAddr. Topology builders call it once after allocating the address
+// space, so the install loops never regrow the table (AddRoute's amortized
+// doubling remains as the safety net for out-of-order installs).
+func (s *Switch) Reserve(maxAddr Addr) {
+	if n := 1 + int(maxAddr); n > len(s.table) {
+		grown := make([]*Link, n)
+		copy(grown, s.table)
+		s.table = grown
+	}
+}
+
 // Route returns the egress link for dst, or nil.
 func (s *Switch) Route(dst Addr) *Link {
 	if dst < 0 || int(dst) >= len(s.table) {
@@ -100,7 +112,20 @@ type Host struct {
 	nic   *Link
 	eng   *sim.Engine
 	pool  *PacketPool
-	conns map[ConnID]Endpoint
+
+	// Slot-indexed demux: Register hands each endpoint a dense slot and
+	// packets stamped with it (Packet.Slot) demux with two array loads
+	// instead of a map probe. Slot 0 is reserved as "no slot" so
+	// zero-valued packets fall back to the map. connIdx keeps the
+	// ConnID→slot mapping for duplicate detection, Unregister and the
+	// unstamped-packet fallback.
+	conns   []Endpoint // indexed by slot; nil after Unregister
+	connIDs []ConnID   // indexed by slot; guards stale slot stamps
+	connIdx map[ConnID]int32
+
+	// paths caches resolved forwarding paths by destination address (see
+	// PathTo in path.go).
+	paths map[Addr]*Path
 
 	// Misdelivered counts packets that arrived for a connection this host
 	// doesn't know (e.g. packets in flight when a connection closed).
@@ -109,7 +134,12 @@ type Host struct {
 
 // NewHost returns a host with no NIC attached yet.
 func NewHost(eng *sim.Engine, id NodeID, name string) *Host {
-	return &Host{ID: id, Name: name, eng: eng, conns: make(map[ConnID]Endpoint)}
+	return &Host{
+		ID: id, Name: name, eng: eng,
+		conns:   []Endpoint{nil}, // slot 0 reserved
+		connIDs: []ConnID{-1},
+		connIdx: make(map[ConnID]int32),
+	}
 }
 
 // AttachNIC sets the host's egress link.
@@ -134,16 +164,31 @@ func (h *Host) PrimaryAddr() Addr {
 	return h.addrs[0]
 }
 
-// Register binds a connection ID to a local endpoint.
-func (h *Host) Register(id ConnID, ep Endpoint) {
-	if _, dup := h.conns[id]; dup {
+// Register binds a connection ID to a local endpoint and returns the demux
+// slot assigned to it. Senders stamp the slot on packets (Packet.Slot) so
+// delivery skips the map probe; callers that ignore the slot still work
+// through the ConnID fallback.
+func (h *Host) Register(id ConnID, ep Endpoint) int32 {
+	if _, dup := h.connIdx[id]; dup {
 		panic(fmt.Sprintf("netem: duplicate conn %d on host %s", id, h.Name))
 	}
-	h.conns[id] = ep
+	slot := int32(len(h.conns))
+	h.conns = append(h.conns, ep)
+	h.connIDs = append(h.connIDs, id)
+	h.connIdx[id] = slot
+	return slot
 }
 
-// Unregister removes a connection binding.
-func (h *Host) Unregister(id ConnID) { delete(h.conns, id) }
+// Unregister removes a connection binding. The slot is retired, not reused:
+// packets still in flight with a stale slot stamp find a nil endpoint and
+// count as misdelivered, never reach a different connection.
+func (h *Host) Unregister(id ConnID) {
+	if slot, ok := h.connIdx[id]; ok {
+		h.conns[slot] = nil
+		h.connIDs[slot] = -1
+		delete(h.connIdx, id)
+	}
+}
 
 // Send transmits a packet out of the host NIC.
 func (h *Host) Send(p *Packet) {
@@ -158,13 +203,24 @@ func (h *Host) Send(p *Packet) {
 // has copied what it needs, so the packet is released to its pool here.
 // Endpoints must not retain pooled packets past Deliver.
 func (h *Host) Receive(p *Packet) {
-	ep, ok := h.conns[p.Conn]
-	if !ok {
-		h.Misdelivered++
-		p.Release()
-		return
+	// Fast path: the sender stamped the demux slot at connection setup; two
+	// array loads verify and deliver. The ConnID check guards against a
+	// packet carrying another host's slot numbering (misrouted packet).
+	if s := p.Slot; s > 0 && int(s) < len(h.conns) && h.connIDs[s] == p.Conn {
+		if ep := h.conns[s]; ep != nil {
+			ep.Deliver(p)
+			p.Release()
+			return
+		}
 	}
-	ep.Deliver(p)
+	if slot, ok := h.connIdx[p.Conn]; ok {
+		if ep := h.conns[slot]; ep != nil {
+			ep.Deliver(p)
+			p.Release()
+			return
+		}
+	}
+	h.Misdelivered++
 	p.Release()
 }
 

@@ -82,10 +82,28 @@ type Packet struct {
 
 	ttl int
 
+	// Slot is the destination host's demux slot for this packet's
+	// connection, stamped by the transport at send time; 0 means unstamped
+	// and the host falls back to its ConnID map.
+	Slot int32
+
+	// path/hop carry the resolved forwarding path: path is the link array
+	// and hop indexes the link the packet currently occupies. nil path
+	// means hop-by-hop forwarding through the switches' routing tables.
+	path *Path
+	hop  int32
+
 	// pool is the owning PacketPool (nil for plain heap packets); inPool
 	// flags membership in the free-list so a double Release fails fast.
 	pool   *PacketPool
 	inPool bool
+}
+
+// SetPath stamps a resolved forwarding path onto the packet, positioning it
+// at the first hop (the source NIC). A nil path clears the stamp.
+func (p *Packet) SetPath(pa *Path) {
+	p.path = pa
+	p.hop = 0
 }
 
 // NewDataPacket builds a data segment of payload bytes from src to dst.

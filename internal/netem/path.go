@@ -1,0 +1,75 @@
+package netem
+
+// Path is a fully resolved forwarding path: the ordered sequence of links a
+// packet traverses from the source NIC to the destination host. Transports
+// resolve the path once at connection setup and stamp it on every packet
+// they send, so per-hop forwarding becomes an array index instead of a
+// routing-table lookup (the per-hop `Switch.Route` call disappears from the
+// hot path entirely).
+//
+// Routing in this simulator is destination-based and static: a switch's
+// table never changes after topology construction, so a path resolved at
+// setup stays exact for the lifetime of the run. Link failures need no
+// special handling — a resolved hop still goes through Link.Send, which
+// drops on a down link exactly as the hop-by-hop walk would (the routing
+// table keeps pointing at the downed link either way).
+type Path struct {
+	hops []*Link // hops[0] is the source host's NIC
+}
+
+// Len returns the number of links on the path.
+func (pa *Path) Len() int { return len(pa.hops) }
+
+// Hop returns the i-th link of the path.
+func (pa *Path) Hop(i int) *Link { return pa.hops[i] }
+
+// PathTo resolves and caches the forwarding path from this host to dst.
+// Returns nil when no complete path exists (no NIC, missing route, or the
+// walk ends somewhere other than a host owning dst) — callers fall back to
+// hop-by-hop forwarding, which behaves identically. The result, including
+// nil, is cached: tables are static, so the first resolution is definitive.
+func (h *Host) PathTo(dst Addr) *Path {
+	if pa, ok := h.paths[dst]; ok {
+		return pa
+	}
+	pa := resolvePath(h.nic, dst)
+	if h.paths == nil {
+		h.paths = make(map[Addr]*Path)
+	}
+	h.paths[dst] = pa
+	return pa
+}
+
+// resolvePath walks the static routing tables from nic toward dst. The walk
+// is bounded by initialTTL hops, mirroring the TTL guard of hop-by-hop
+// forwarding, so a routing loop resolves to nil rather than hanging.
+func resolvePath(nic *Link, dst Addr) *Path {
+	if nic == nil || dst < 0 {
+		return nil
+	}
+	hops := []*Link{nic}
+	cur := nic.Dst()
+	for i := 0; i < initialTTL; i++ {
+		switch n := cur.(type) {
+		case *Switch:
+			next := n.Route(dst)
+			if next == nil {
+				return nil
+			}
+			hops = append(hops, next)
+			cur = next.Dst()
+		case *Host:
+			for _, a := range n.addrs {
+				if a == dst {
+					return &Path{hops: hops}
+				}
+			}
+			return nil
+		default:
+			// Test sinks and hand-rolled receivers are opaque; leave those
+			// packets on the hop-by-hop path.
+			return nil
+		}
+	}
+	return nil
+}

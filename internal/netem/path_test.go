@@ -1,0 +1,183 @@
+package netem
+
+import (
+	"testing"
+
+	"xmp/internal/sim"
+)
+
+// countEndpoint counts deliveries for the demux tests.
+type countEndpoint struct{ delivered int }
+
+func (e *countEndpoint) Deliver(*Packet) { e.delivered++ }
+
+// chainNet builds src -[nicA]-> sw1 -[mid]-> sw2 -[last]-> dst with routes
+// for dst's primary address installed at both switches.
+func chainNet(eng *sim.Engine) (src, dst *Host, sw1, sw2 *Switch) {
+	src = NewHost(eng, 1, "src")
+	dst = NewHost(eng, 2, "dst")
+	src.AddAddr(10)
+	dst.AddAddr(20)
+	sw1 = NewSwitch(3, "sw1", LayerTestRack)
+	sw2 = NewSwitch(4, "sw2", LayerTestRack)
+	mk := func(name string, to Receiver) *Link {
+		return NewLink(eng, name, Gbps, 10*sim.Microsecond, NewDropTail(100), to)
+	}
+	src.AttachNIC(mk("src->sw1", sw1))
+	last := mk("sw2->dst", dst)
+	mid := mk("sw1->sw2", sw2)
+	sw1.AddRoute(20, mid)
+	sw2.AddRoute(20, last)
+	return src, dst, sw1, sw2
+}
+
+// LayerTestRack labels test switches; the value is irrelevant to routing.
+const LayerTestRack = "rack"
+
+func TestPathResolution(t *testing.T) {
+	eng := sim.NewEngine()
+	src, dst, _, _ := chainNet(eng)
+
+	pa := src.PathTo(20)
+	if pa == nil {
+		t.Fatal("PathTo(20) = nil on a fully routed chain")
+	}
+	if pa.Len() != 3 {
+		t.Fatalf("path length %d, want 3 (nic, sw1->sw2, sw2->dst)", pa.Len())
+	}
+	if pa.Hop(0) != src.NIC() {
+		t.Fatal("path does not start at the source NIC")
+	}
+	if pa.Hop(2).Dst() != Receiver(dst) {
+		t.Fatal("path does not end at the destination host")
+	}
+	if again := src.PathTo(20); again != pa {
+		t.Fatal("PathTo is not cached: second resolution returned a new path")
+	}
+
+	// No route for an unknown address: nil, and the nil is cached too.
+	if src.PathTo(99) != nil {
+		t.Fatal("PathTo to an unrouted address resolved a path")
+	}
+	if src.PathTo(99) != nil {
+		t.Fatal("cached miss returned non-nil")
+	}
+	// The reverse direction has no routes installed at all.
+	if dst.PathTo(10) != nil {
+		t.Fatal("PathTo resolved a path with no reverse routes")
+	}
+}
+
+// TestResolvedPathDeliveryMatchesHopByHop sends the same segment with and
+// without a stamped path and checks arrival time and demux agree exactly —
+// the resolved fast path must be observationally identical.
+func TestResolvedPathDeliveryMatchesHopByHop(t *testing.T) {
+	run := func(stamp bool) (arrivals int, at sim.Time) {
+		eng := sim.NewEngine()
+		src, dst, _, _ := chainNet(eng)
+		ep := &countEndpoint{}
+		slot := dst.Register(7, ep)
+		p := NewDataPacket(7, 10, 20, 0, MSS, false)
+		if stamp {
+			p.Slot = slot
+			p.SetPath(src.PathTo(20))
+		}
+		src.Send(p)
+		eng.Run(sim.MaxTime)
+		return ep.delivered, eng.Now()
+	}
+	gotHop, atHop := run(false)
+	gotPath, atPath := run(true)
+	if gotHop != 1 || gotPath != 1 {
+		t.Fatalf("deliveries: hop-by-hop %d, resolved %d, want 1 and 1", gotHop, gotPath)
+	}
+	if atHop != atPath {
+		t.Fatalf("arrival time diverges: hop-by-hop %v, resolved %v", atHop, atPath)
+	}
+}
+
+func TestSlotDemux(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, 1, "h")
+	h.AddAddr(1)
+	epA, epB := &countEndpoint{}, &countEndpoint{}
+	slotA := h.Register(100, epA)
+	slotB := h.Register(200, epB)
+	if slotA == 0 || slotB == 0 || slotA == slotB {
+		t.Fatalf("bad slots %d, %d: want distinct non-zero", slotA, slotB)
+	}
+
+	send := func(conn ConnID, slot int32) {
+		p := NewDataPacket(conn, 2, 1, 0, MSS, false)
+		p.Slot = slot
+		h.Receive(p)
+	}
+	send(100, slotA) // fast path
+	send(200, slotB) // fast path
+	send(100, 0)     // unstamped: map fallback
+	if epA.delivered != 2 || epB.delivered != 1 {
+		t.Fatalf("delivered A=%d B=%d, want 2 and 1", epA.delivered, epB.delivered)
+	}
+
+	// A stale or foreign slot stamp must not cross-deliver: the ConnID
+	// check rejects it and the map fallback recovers the right endpoint.
+	send(100, slotB)
+	if epB.delivered != 1 || epA.delivered != 3 {
+		t.Fatalf("foreign slot cross-delivered: A=%d B=%d", epA.delivered, epB.delivered)
+	}
+
+	// Out-of-range slots fall back safely.
+	send(200, 500)
+	if epB.delivered != 2 {
+		t.Fatal("out-of-range slot did not fall back to the map")
+	}
+
+	// After Unregister both the slot path and the fallback miss.
+	h.Unregister(100)
+	send(100, slotA)
+	if epA.delivered != 3 {
+		t.Fatal("packet delivered to an unregistered connection")
+	}
+	if h.Misdelivered != 1 {
+		t.Fatalf("Misdelivered = %d, want 1", h.Misdelivered)
+	}
+
+	// The retired slot must not be handed to a new registration.
+	if slotC := h.Register(300, &countEndpoint{}); slotC == slotA {
+		t.Fatal("retired slot reused for a new connection")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, 1, "h")
+	h.Register(5, &countEndpoint{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	h.Register(5, &countEndpoint{})
+}
+
+func TestSwitchReserve(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitch(1, "sw", LayerTestRack)
+	sink := NewLink(eng, "out", Gbps, sim.Microsecond, NewDropTail(1), NewHost(eng, 2, "h"))
+	sw.Reserve(1000)
+	for a := Addr(0); a <= 1000; a++ {
+		sw.AddRoute(a, sink)
+	}
+	for a := Addr(0); a <= 1000; a++ {
+		if sw.Route(a) != sink {
+			t.Fatalf("route for %d lost after Reserve", a)
+		}
+	}
+	// Reserve smaller than current size is a no-op; AddRoute past the
+	// reservation still grows.
+	sw.Reserve(10)
+	sw.AddRoute(5000, sink)
+	if sw.Route(5000) != sink || sw.Route(1000) != sink {
+		t.Fatal("growth after Reserve corrupted the table")
+	}
+}

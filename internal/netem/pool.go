@@ -144,6 +144,9 @@ func poisonPacket(p *Packet) {
 	p.SendTime, p.EchoTime = poisonSeq, poisonSeq
 	p.SACKCount = -1
 	p.ttl = 0
+	p.Slot = -1 // negative slot fails the demux fast path and the map both
+	p.path = nil
+	p.hop = -1
 }
 
 // Release returns the packet to its owning pool, if any. Network sinks

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Op tags which action a typed Target should take when its event fires.
@@ -43,14 +44,22 @@ type Event struct {
 	// recycled); a Handle whose generation no longer matches refers to an
 	// event that already fired or was cancelled, and Cancel treats it as a
 	// no-op.
-	gen      uint64
-	fn       func() // kindFunc payload
-	target   Target // kindTarget payload
-	arg      any
+	gen    uint64
+	fn     func() // kindFunc payload
+	target Target // kindTarget payload
+	arg    any
+	// slot locates the event inside the calendar: the wheel bucket index
+	// holding it, or overflowSlot for the far-future overflow heap. Kept
+	// current on promotion so Cancel can apply its container-tail fast
+	// path without searching.
+	slot     int32
 	op       Op
 	kind     uint8
 	canceled bool
 }
+
+// overflowSlot marks an event as living in the overflow heap.
+const overflowSlot int32 = -1
 
 // Handle refers to a scheduled event. The zero Handle is valid and refers
 // to no event (Cancel ignores it, Pending reports false).
@@ -75,25 +84,79 @@ func (h Handle) At() Time {
 	return h.ev.at
 }
 
+// Time-wheel geometry, sized from the k=8 cell's measured event density
+// (~40 events per µs of simulated time): a 256 ns bucket holds ~10 events
+// in the dense phases, so the per-bucket mini-heaps sift one or two
+// levels where the old global heap sifted six or seven. The ring is kept
+// deliberately short — 2^wheelBits buckets, a ~262 µs horizon — because
+// the whole structure (slice headers, seed backing, bitmap) then stays
+// cache-resident as the cursor streams through it. The horizon comfortably
+// covers the packet-hop events that dominate the calendar (serialization
+// at 1 Gbps is ~12 µs per full packet, propagation 20–40 µs per hop);
+// protocol timers (delayed ACK, RTO, experiment phases) live in the
+// overflow heap — where ALL events lived before the wheel — and are
+// promoted into the ring when the clock draws within the horizon.
+const (
+	wheelBucketBits = 8  // bucket width: 2^8 ns = 256 ns
+	wheelBits       = 10 // 2^10 = 1024 buckets
+	wheelBuckets    = 1 << wheelBits
+	wheelMask       = wheelBuckets - 1
+	// wheelBucketWidth is the time covered by one bucket.
+	wheelBucketWidth = Duration(1) << wheelBucketBits
+	// wheelSpan is the horizon of the ring: events at now+wheelSpan or
+	// later overflow.
+	wheelSpan = Time(wheelBuckets) << wheelBucketBits
+)
+
+// bucketOf maps an absolute time to its wheel bucket. The mapping is a
+// pure function of the time, so it never disagrees with itself across
+// cursor movement.
+func bucketOf(t Time) int32 { return int32((t >> wheelBucketBits) & wheelMask) }
+
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; an experiment owns exactly one Engine. The free-list
 // below is what keeps the hot path allocation-free: every fired or
 // cancelled Event struct is recycled into the next Schedule call, so a
 // steady-state simulation allocates no events at all.
 //
-// The calendar is a hand-rolled 4-ary min-heap over a flat []*Event,
-// ordered by (time, insertion sequence). Compared to container/heap this
-// removes the any-boxing, the non-inlinable interface-method dispatch on
-// every sift, and the per-swap index writes; the wider fan-out halves the
-// tree depth, trading slightly more comparisons per level for fewer cache
-// misses — the standard calendar layout of high-throughput DES engines.
+// The calendar is a bucketed time-wheel: a ring of time buckets covering
+// [wheelBase, wheelBase+wheelSpan), each bucket a tiny 4-ary min-heap
+// ordered by the global (time, seq) key, plus a single 4-ary overflow heap
+// for events beyond the horizon. The head of the calendar is the smaller
+// of (first occupied bucket's root, overflow root) under the same strict
+// (time, seq) total order, so pop order is identical to a single global
+// heap — the wheel only changes how much work each operation does. The
+// hot-path win: a bucket holds a handful of events where the global heap
+// held tens of thousands, so sift depth collapses to one or two levels.
 type Engine struct {
 	now     Time
 	nextSeq uint64
-	events  []*Event // 4-ary min-heap by (at, seq)
-	// canceledCount tracks lazily-cancelled events still occupying heap
-	// slots; when they dominate the calendar the heap is compacted.
-	canceledCount int
+
+	// Ring anchor. wheelBase is the bucket-aligned anchor of the window
+	// [wheelBase, wheelEnd) that ring inserts map into; it is re-derived
+	// from the clock lazily, on the dense-mode insert path, so
+	// wheelBase <= now at all times. That inequality is what makes the
+	// bucket mapping unambiguous: every live ring event satisfies
+	// now <= at < wheelEnd <= align(now)+span, so ring order starting at
+	// the clock's own bucket is time order and each bucket holds at most
+	// one rotation of live events.
+	wheelBase Time
+	wheelEnd  Time // wheelBase + wheelSpan, saturated at MaxTime
+	// ringEntries counts structs sitting in ring buckets (live or
+	// cancelled corpses); zero lets head skip the bitmap scan outright.
+	ringEntries int
+
+	// Far-future overflow: 4-ary min-heap by (at, seq).
+	overflow []*Event
+	// canceledOverflow tracks lazily-cancelled events still occupying
+	// overflow slots; when they dominate, the heap is compacted. Ring
+	// corpses need no counter: the cursor sweeps every bucket within one
+	// horizon of simulated time, reclaiming them in passing.
+	canceledOverflow int
+
+	// pending counts live (non-cancelled) scheduled events.
+	pending int
+
 	// free is the Event recycling stack. Single-threaded like the engine,
 	// so no locking; never shared across engines.
 	free []*Event
@@ -102,12 +165,32 @@ type Engine struct {
 	processed uint64
 	// recycled counts free-list hits (observability for the benchmarks).
 	recycled uint64
+	// promoted counts overflow events moved into the ring as the clock
+	// approached their deadline (observability for the wheel tests).
+	promoted uint64
 	stopped  bool
+
+	// The ring itself lives at the end of the struct so the hot scalar
+	// fields above share cache lines instead of straddling its ~24 KB.
+	buckets  [wheelBuckets][]*Event
+	occupied [wheelBuckets / 64]uint64 // occupancy bitmap over buckets
 }
+
+// bucketSeedCap is the initial capacity of every ring bucket. Buckets are
+// seeded from one shared backing array so steady-state scheduling never
+// allocates as the cursor reaches previously-unvisited buckets; a bucket
+// that outgrows its seed (incast pile-up) reallocates once and keeps the
+// larger capacity for the rest of the run.
+const bucketSeedCap = 4
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{wheelEnd: wheelSpan}
+	backing := make([]*Event, wheelBuckets*bucketSeedCap)
+	for i := range e.buckets {
+		e.buckets[i] = backing[i*bucketSeedCap : i*bucketSeedCap : (i+1)*bucketSeedCap]
+	}
+	return e
 }
 
 // Now returns the current simulated time.
@@ -119,9 +202,12 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Recycled returns the number of Schedule calls served from the free-list.
 func (e *Engine) Recycled() uint64 { return e.recycled }
 
+// Promoted returns the number of overflow events promoted into the ring.
+func (e *Engine) Promoted() uint64 { return e.promoted }
+
 // Pending returns the number of events currently scheduled (cancelled
 // events awaiting lazy reclamation are not counted).
-func (e *Engine) Pending() int { return len(e.events) - e.canceledCount }
+func (e *Engine) Pending() int { return e.pending }
 
 // less orders the calendar: earlier time first, FIFO at the same instant.
 func less(a, b *Event) bool {
@@ -131,11 +217,12 @@ func less(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
-// heapPush appends ev and sifts it up its 4-ary parent chain. The hole is
-// moved, not swapped: one write per level plus the final placement.
-func (e *Engine) heapPush(ev *Event) {
-	e.events = append(e.events, ev)
-	h := e.events
+// heapPush appends ev to the 4-ary min-heap h and sifts it up its parent
+// chain. The hole is moved, not swapped: one write per level plus the
+// final placement. Shared by the overflow heap and every ring bucket.
+func heapPush(hp *[]*Event, ev *Event) {
+	*hp = append(*hp, ev)
+	h := *hp
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) >> 2
@@ -149,24 +236,23 @@ func (e *Engine) heapPush(ev *Event) {
 	h[i] = ev
 }
 
-// heapPop removes and returns the minimum event.
-func (e *Engine) heapPop() *Event {
-	h := e.events
+// heapPop removes and returns the minimum event of h.
+func heapPop(hp *[]*Event) *Event {
+	h := *hp
 	n := len(h) - 1
 	top := h[0]
 	last := h[n]
 	h[n] = nil
-	e.events = h[:n]
+	*hp = h[:n]
 	if n > 0 {
-		e.siftDown(0, last)
+		siftDown(h[:n], 0, last)
 	}
 	return top
 }
 
-// siftDown places ev into the heap starting at slot i, walking down toward
+// siftDown places ev into heap h starting at slot i, walking down toward
 // the leaves. Children of i are slots 4i+1..4i+4.
-func (e *Engine) siftDown(i int, ev *Event) {
-	h := e.events
+func siftDown(h []*Event, i int, ev *Event) {
 	n := len(h)
 	for {
 		first := i<<2 + 1
@@ -192,13 +278,13 @@ func (e *Engine) siftDown(i int, ev *Event) {
 	h[i] = ev
 }
 
-// compact rebuilds the heap without its lazily-cancelled events, recycling
-// them. Triggered when cancelled entries dominate the calendar, so the
-// O(n) rebuild amortizes to O(1) per Cancel. The pop order of the
+// compactOverflow rebuilds the overflow heap without its lazily-cancelled
+// events, recycling them. Triggered when cancelled entries dominate, so
+// the O(n) rebuild amortizes to O(1) per Cancel. The pop order of the
 // survivors is unchanged: (at, seq) is a strict total order, so any valid
 // heap over the same set drains identically — determinism is layout-free.
-func (e *Engine) compact() {
-	h := e.events
+func (e *Engine) compactOverflow() {
+	h := e.overflow
 	live := h[:0]
 	for _, ev := range h {
 		if ev.canceled {
@@ -210,10 +296,10 @@ func (e *Engine) compact() {
 	for i := len(live); i < len(h); i++ {
 		h[i] = nil
 	}
-	e.events = live
-	e.canceledCount = 0
+	e.overflow = live
+	e.canceledOverflow = 0
 	for i := (len(live) - 2) >> 2; i >= 0; i-- {
-		e.siftDown(i, live[i])
+		siftDown(live, i, live[i])
 	}
 }
 
@@ -287,8 +373,20 @@ func (e *Engine) ScheduleTargetAt(at Time, t Target, op Op, arg any) Handle {
 	return Handle{ev: ev, gen: ev.gen}
 }
 
+// ringThreshold is the pending-event count below which inserts bypass the
+// ring and use the overflow heap directly. A heap of a few dozen events
+// sifts one or two levels — cheaper than the ring's bucket mapping,
+// bitmap maintenance, and cursor scan — so sparse calendars (unit tests,
+// single-link setups, drained phases) keep the old heap's constants and
+// the ring engages only at the event densities it was built for. The
+// split is invisible to ordering: head always compares both containers
+// under the same (time, seq) key.
+const ringThreshold = 64
+
 // insert allocates an event at time t with the next FIFO sequence number
-// and pushes it onto the calendar. The caller fills in the payload.
+// and places it in the calendar: in its ring bucket when the calendar is
+// dense and t is within the horizon, in the overflow heap otherwise. The
+// caller fills in the payload.
 func (e *Engine) insert(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
@@ -298,7 +396,25 @@ func (e *Engine) insert(t Time) *Event {
 	ev.seq = e.nextSeq
 	ev.canceled = false
 	e.nextSeq++
-	e.heapPush(ev)
+	e.pending++
+	if e.pending > ringThreshold && t-e.now < wheelSpan {
+		// The ring is anchored lazily: the clock may have advanced many
+		// buckets since the last ring insert, so re-derive the base from
+		// now (and promote newly-near overflow events) before mapping t.
+		if base := e.now &^ (Time(wheelBucketWidth) - 1); base != e.wheelBase {
+			e.reanchor(base)
+		}
+		if t < e.wheelEnd {
+			b := int(t>>wheelBucketBits) & wheelMask
+			ev.slot = int32(b)
+			heapPush(&e.buckets[b], ev)
+			e.occupied[b>>6] |= 1 << (uint(b) & 63)
+			e.ringEntries++
+			return ev
+		}
+	}
+	ev.slot = overflowSlot
+	heapPush(&e.overflow, ev)
 	return ev
 }
 
@@ -307,22 +423,37 @@ func (e *Engine) insert(t Time) *Event {
 // recycled into a different event — is a no-op, which makes timer
 // management at the call sites straightforward.
 //
-// Cancellation is lazy: the event is marked dead in O(1) and its heap slot
-// is reclaimed when it reaches the head of the calendar (or at the next
-// compaction), instead of an O(log n) sift per cancel. The handle goes
-// stale immediately; only the struct's reuse is deferred.
+// Cancellation is lazy: the event is marked dead in O(1) and its calendar
+// slot is reclaimed when the cursor (or the overflow head drain) reaches
+// it, instead of an eager sift per cancel. The handle goes stale
+// immediately; only the struct's reuse is deferred. One fast path: when
+// the event occupies the last slot of its container (its ring bucket or
+// the overflow heap) it is a leaf, so truncating it cannot violate heap
+// order and the struct is reclaimed on the spot — the common shape for
+// schedule-then-cancel timer churn.
 func (e *Engine) Cancel(h Handle) {
 	if !h.live() || h.ev.canceled {
 		return
 	}
 	ev := h.ev
-	if n := len(e.events) - 1; e.events[n] == ev {
-		// The event occupies the last heap slot — the common shape for
-		// schedule-then-cancel timer churn, where nothing later was
-		// scheduled. Removing a tail leaf cannot violate the heap order,
-		// so reclaim it immediately: no corpse, no deferred drain.
-		e.events[n] = nil
-		e.events = e.events[:n]
+	e.pending--
+	var cont *[]*Event
+	if ev.slot >= 0 {
+		cont = &e.buckets[ev.slot]
+	} else {
+		cont = &e.overflow
+	}
+	s := *cont
+	if n := len(s) - 1; s[n] == ev {
+		s[n] = nil
+		*cont = s[:n]
+		if ev.slot >= 0 {
+			e.ringEntries--
+			if n == 0 {
+				b := ev.slot
+				e.occupied[b>>6] &^= 1 << (uint(b) & 63)
+			}
+		}
 		e.recycle(ev)
 		return
 	}
@@ -331,11 +462,14 @@ func (e *Engine) Cancel(h Handle) {
 	ev.fn = nil
 	ev.target = nil
 	ev.arg = nil
-	e.canceledCount++
-	// Compact when cancelled corpses outnumber live events and are worth
-	// the O(n) sweep; keeps RTO-churn heaps from growing without bound.
-	if e.canceledCount > 64 && e.canceledCount > len(e.events)-e.canceledCount {
-		e.compact()
+	if ev.slot == overflowSlot {
+		e.canceledOverflow++
+		// Compact when cancelled corpses outnumber live events and are
+		// worth the O(n) sweep; keeps RTO-churn heaps from growing without
+		// bound while their deadlines sit beyond the horizon.
+		if e.canceledOverflow > 64 && e.canceledOverflow > len(e.overflow)-e.canceledOverflow {
+			e.compactOverflow()
+		}
 	}
 }
 
@@ -343,32 +477,132 @@ func (e *Engine) Cancel(h Handle) {
 // completes. It may be called from inside an event callback.
 func (e *Engine) Stop() { e.stopped = true }
 
-// peek drains lazily-cancelled events off the head of the calendar and
-// returns the earliest live event, or nil when the calendar is empty.
-func (e *Engine) peek() *Event {
-	for len(e.events) > 0 {
-		head := e.events[0]
-		if !head.canceled {
-			return head
-		}
-		e.heapPop()
-		e.canceledCount--
-		// Cancel already bumped gen and cleared the payload; the struct
-		// only needs to reach the free-list.
-		e.free = append(e.free, head)
+// reanchor re-bases the ring window to [base, base+span) — base must be
+// the bucket-aligned current time — and promotes overflow events whose
+// deadline now falls within the horizon into their ring buckets.
+// Promotion preserves the (time, seq) drain order trivially: both
+// containers are min-ordered by the same key, and the head selection
+// compares across them. Called only from the dense-mode insert path, so a
+// sparse calendar never pays for base maintenance; correctness does not
+// depend on freshness, because the cursor scan derives its position from
+// the clock, not from the base.
+func (e *Engine) reanchor(base Time) {
+	e.wheelBase = base
+	end := base + wheelSpan
+	if end < base {
+		end = MaxTime // saturate near the representable horizon
 	}
-	return nil
+	e.wheelEnd = end
+	for len(e.overflow) > 0 {
+		head := e.overflow[0]
+		if head.canceled {
+			heapPop(&e.overflow)
+			e.canceledOverflow--
+			e.free = append(e.free, head)
+			continue
+		}
+		if head.at >= end {
+			break
+		}
+		heapPop(&e.overflow)
+		b := bucketOf(head.at)
+		head.slot = b
+		heapPush(&e.buckets[b], head)
+		e.occupied[b>>6] |= 1 << (uint(b) & 63)
+		e.ringEntries++
+		e.promoted++
+	}
 }
 
-// fire pops the head event and executes it. peek must have run first, so
+// wheelScan returns the first occupied bucket at or after the cursor in
+// ring order, or -1 when the ring is empty. With the occupancy bitmap the
+// scan is a handful of word operations regardless of ring sparsity.
+func (e *Engine) wheelScan() int32 {
+	cur := int(bucketOf(e.now))
+	w := cur >> 6
+	// Mask off bits below the cursor in its word, then walk words.
+	word := e.occupied[w] &^ (1<<(uint(cur)&63) - 1)
+	for i := 0; i <= len(e.occupied); i++ {
+		if word != 0 {
+			return int32((w<<6 + bits.TrailingZeros64(word)) & wheelMask)
+		}
+		w = (w + 1) % len(e.occupied)
+		word = e.occupied[w]
+		if i == len(e.occupied)-1 {
+			// Last wrap: only bits below the cursor remain unexamined.
+			word &= 1<<(uint(cur)&63) - 1
+		}
+	}
+	return -1
+}
+
+// head returns the earliest live event in the calendar without removing
+// it, draining lazily-cancelled corpses it encounters at container heads.
+// Returns nil when the calendar is empty.
+func (e *Engine) head() *Event {
+	for {
+		var wev *Event
+		if e.ringEntries > 0 {
+			if b := e.wheelScan(); b >= 0 {
+				bucket := e.buckets[b]
+				if bucket[0].canceled {
+					corpse := heapPop(&e.buckets[b])
+					e.ringEntries--
+					if len(e.buckets[b]) == 0 {
+						e.occupied[b>>6] &^= 1 << (uint(b) & 63)
+					}
+					// Cancel already bumped gen and cleared the payload;
+					// the struct only needs to reach the free-list.
+					e.free = append(e.free, corpse)
+					continue
+				}
+				wev = bucket[0]
+			}
+		}
+		for len(e.overflow) > 0 && e.overflow[0].canceled {
+			corpse := heapPop(&e.overflow)
+			e.canceledOverflow--
+			e.free = append(e.free, corpse)
+		}
+		var oev *Event
+		if len(e.overflow) > 0 {
+			oev = e.overflow[0]
+		}
+		switch {
+		case wev == nil:
+			return oev // may be nil: calendar empty
+		case oev == nil || less(wev, oev):
+			return wev
+		default:
+			return oev
+		}
+	}
+}
+
+// pop removes ev — which must be the event head() just returned — from
+// its container.
+func (e *Engine) pop(ev *Event) {
+	if b := ev.slot; b >= 0 {
+		heapPop(&e.buckets[b])
+		e.ringEntries--
+		if len(e.buckets[b]) == 0 {
+			e.occupied[b>>6] &^= 1 << (uint(b) & 63)
+		}
+	} else {
+		heapPop(&e.overflow)
+	}
+}
+
+// fire pops the head event and executes it. head must have run first, so
 // the head is live. The struct is recycled before the callback runs, so
 // the callback's own Schedule calls reuse it; the local copies below keep
 // the execution independent of that reuse.
-func (e *Engine) fire() {
-	ev := e.heapPop()
+func (e *Engine) fire(ev *Event) {
+	e.pop(ev)
 	at, kind := ev.at, ev.kind
 	fn, target, op, arg := ev.fn, ev.target, ev.op, ev.arg
 	e.recycle(ev)
+	e.pending--
 	e.now = at
 	e.processed++
 	if kind == kindFunc {
@@ -385,11 +619,11 @@ func (e *Engine) Run(until Time) uint64 {
 	start := e.processed
 	e.stopped = false
 	for !e.stopped {
-		head := e.peek()
+		head := e.head()
 		if head == nil || head.at > until {
 			break
 		}
-		e.fire()
+		e.fire(head)
 	}
 	if e.now < until && until != MaxTime && !e.stopped {
 		// Drained the calendar before the horizon: advance the clock so a
@@ -407,11 +641,15 @@ func (e *Engine) Run(until Time) uint64 {
 func (e *Engine) RunAll(maxEvents uint64) uint64 {
 	start := e.processed
 	e.stopped = false
-	for !e.stopped && e.peek() != nil {
+	for !e.stopped {
+		head := e.head()
+		if head == nil {
+			break
+		}
 		if e.processed-start >= maxEvents {
 			panic(fmt.Sprintf("sim: exceeded %d events at t=%v (runaway event loop?)", maxEvents, e.now))
 		}
-		e.fire()
+		e.fire(head)
 	}
 	return e.processed - start
 }

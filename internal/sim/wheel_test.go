@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// park schedules n no-op far-future events so the calendar stays above
+// ringThreshold and subsequent near-future inserts take the ring path; the
+// returned horizon is safely before any parked event fires.
+func park(eng *Engine, n int) Time {
+	for i := 0; i < n; i++ {
+		eng.Schedule(Second, func() {})
+	}
+	return eng.Now().Add(Millisecond)
+}
+
+// TestWheelBucketBoundary pins event placement at exact bucket edges: an
+// event at now+wheelSpan-1 is the last ring-eligible instant, one at
+// now+wheelSpan must take the overflow heap, and events on the same bucket
+// boundary fire in schedule (seq) order.
+func TestWheelBucketBoundary(t *testing.T) {
+	eng := NewEngine()
+	horizon := park(eng, ringThreshold+1)
+
+	w := wheelBucketWidth // one bucket of time
+	var order []int
+	note := func(id int) func() { return func() { order = append(order, id) } }
+
+	// Two events on the exact same bucket-boundary instant, scheduled out
+	// of id order relative to a mid-bucket neighbour.
+	eng.Schedule(2*w, note(2))
+	hEdge := eng.Schedule(w, note(0))
+	eng.Schedule(w, note(1))     // same instant, later seq
+	eng.Schedule(2*w-1, note(3)) // last instant of the bucket before note(2)'s
+	if hEdge.ev.slot == overflowSlot {
+		t.Fatal("near-future boundary event routed to overflow, want ring bucket")
+	}
+
+	// Ring/overflow split at the horizon: span-1 is ring, span is overflow.
+	hIn := eng.Schedule(Duration(wheelSpan)-1, func() {})
+	hOut := eng.Schedule(Duration(wheelSpan), func() {})
+	if hIn.ev.slot == overflowSlot {
+		t.Fatalf("event at span-1 routed to overflow (slot %d), want ring", hIn.ev.slot)
+	}
+	if hOut.ev.slot != overflowSlot {
+		t.Fatalf("event at span routed to ring bucket %d, want overflow", hOut.ev.slot)
+	}
+
+	eng.Run(horizon)
+	want := []int{0, 1, 3, 2} // time order; ties broken by schedule order
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelOverflowPromotion drives the clock toward a far-future event
+// with a chain of near-future inserts and checks the event is promoted from
+// the overflow heap into the ring (and still fires exactly on time).
+func TestWheelOverflowPromotion(t *testing.T) {
+	eng := NewEngine()
+	park(eng, ringThreshold+1)
+
+	const farDelay = Duration(3 * wheelSpan / 2)
+	farAt := eng.Now().Add(farDelay)
+	farFired := false
+	hFar := eng.Schedule(farDelay, func() {
+		if eng.Now() != farAt {
+			t.Errorf("far event fired at %v, want %v", eng.Now(), farAt)
+		}
+		farFired = true
+	})
+	if hFar.ev.slot != overflowSlot {
+		t.Fatal("far-future event not in overflow heap")
+	}
+
+	// A self-rescheduling chain walks the clock past the promotion point;
+	// each dense-mode insert re-anchors the wheel when the clock enters a
+	// fresh bucket.
+	var step func()
+	step = func() {
+		if eng.Now() < farAt+Time(Microsecond) {
+			eng.Schedule(Microsecond, step)
+		}
+	}
+	eng.Schedule(Microsecond, step)
+	eng.Run(farAt + Time(10*Microsecond))
+
+	if !farFired {
+		t.Fatal("far-future event never fired")
+	}
+	if eng.Promoted() == 0 {
+		t.Fatal("no overflow events were promoted into the ring")
+	}
+	if hFar.Pending() {
+		t.Fatal("fired event still pending")
+	}
+}
+
+// TestCancelRescheduleAcrossSplit moves one logical timer back and forth
+// across the ring/overflow split — schedule near, cancel, schedule far,
+// cancel, schedule near again — and checks only the final arming fires.
+func TestCancelRescheduleAcrossSplit(t *testing.T) {
+	eng := NewEngine()
+	horizon := park(eng, ringThreshold+1)
+
+	h1 := eng.Schedule(10*Microsecond, func() { t.Error("cancelled ring event fired") })
+	if h1.ev.slot == overflowSlot {
+		t.Fatal("near event not in ring")
+	}
+	eng.Cancel(h1)
+
+	h2 := eng.Schedule(2*Duration(wheelSpan), func() { t.Error("cancelled overflow event fired") })
+	if h2.ev.slot != overflowSlot {
+		t.Fatal("far event not in overflow")
+	}
+	eng.Cancel(h2)
+
+	fired := false
+	h3 := eng.Schedule(20*Microsecond, func() { fired = true })
+	if h3.ev.slot == overflowSlot {
+		t.Fatal("re-scheduled near event not in ring")
+	}
+	if got := eng.Pending(); got != ringThreshold+1+1 {
+		t.Fatalf("Pending = %d, want %d", got, ringThreshold+2)
+	}
+	eng.Run(horizon)
+	if !fired {
+		t.Fatal("final arming did not fire")
+	}
+
+	// The same dance through a Timer (the transport RTO pattern).
+	ticks := 0
+	tm := NewTimer(eng, func() { ticks++ })
+	tm.Reset(10 * Microsecond)
+	tm.Reset(2 * Duration(wheelSpan)) // implicit cancel, re-arm in overflow
+	tm.Reset(30 * Microsecond)        // back into the ring
+	eng.Run(eng.Now() + Time(Millisecond))
+	if ticks != 1 {
+		t.Fatalf("timer fired %d times across the split, want 1", ticks)
+	}
+}
+
+// TestWheelHeapDifferential is the randomized differential test: a few
+// thousand schedule/cancel operations with delays straddling the ring
+// horizon, popped against a reference model (stable sort by time, i.e. the
+// (time, seq) order the old global heap produced). Any divergence in pop
+// order or final clock fails.
+func TestWheelHeapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130612)) // fixed seed: deterministic
+	eng := NewEngine()
+
+	type refEvent struct {
+		at       Time
+		id       int
+		canceled bool
+	}
+	var ref []refEvent // insertion (seq) order
+	var fired []int
+	nextID := 0
+
+	for round := 0; round < 30; round++ {
+		// Schedule a batch with delays covering same-bucket collisions, the
+		// ring horizon, the exact split boundary, and deep overflow.
+		n := 20 + rng.Intn(120)
+		handles := make([]Handle, n)
+		idx := make([]int, n)
+		for i := 0; i < n; i++ {
+			var d Duration
+			switch rng.Intn(4) {
+			case 0:
+				d = Duration(rng.Int63n(4 * int64(wheelBucketWidth)))
+			case 1:
+				d = Duration(rng.Int63n(int64(wheelSpan)))
+			case 2:
+				d = Duration(wheelSpan) + Duration(rng.Int63n(int64(wheelSpan)))
+			case 3:
+				d = Duration(int64(wheelSpan) + rng.Int63n(10)*int64(wheelSpan)/2 - 5)
+				if d < 0 {
+					d = 0
+				}
+			}
+			id := nextID
+			nextID++
+			handles[i] = eng.Schedule(d, func() { fired = append(fired, id) })
+			idx[i] = len(ref)
+			ref = append(ref, refEvent{at: eng.Now().Add(d), id: id})
+		}
+		// Cancel ~1/4 of this batch after the fact.
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				eng.Cancel(handles[i])
+				ref[idx[i]].canceled = true
+			}
+		}
+		// Run to a random horizon so batches interleave across rounds.
+		horizon := eng.Now() + Time(rng.Int63n(2*int64(wheelSpan)))
+		eng.Run(horizon)
+		if eng.Now() < horizon {
+			t.Fatalf("round %d: clock %v behind horizon %v", round, eng.Now(), horizon)
+		}
+	}
+	eng.Run(MaxTime)
+
+	// Reference pop order: live events, stable-sorted by time (stability
+	// preserves insertion order, which is seq order).
+	live := make([]refEvent, 0, len(ref))
+	for _, r := range ref {
+		if !r.canceled {
+			live = append(live, r)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool { return live[i].at < live[j].at })
+	if len(fired) != len(live) {
+		t.Fatalf("fired %d events, reference expects %d", len(fired), len(live))
+	}
+	for i, r := range live {
+		if fired[i] != r.id {
+			t.Fatalf("pop order diverges at %d: got id %d, reference %d", i, fired[i], r.id)
+		}
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain", eng.Pending())
+	}
+}

@@ -47,3 +47,43 @@ func TestFatTreeHopForwardZeroAlloc(t *testing.T) {
 	}
 	n.CheckRoutingSanity()
 }
+
+// TestResolvedPathForwardZeroAlloc pins the PR 6 per-packet contract: the
+// lookup-free path — resolved next-hop array on the packet plus the slotted
+// host demux — allocates nothing in steady state. The path and slot are
+// resolved once (as transport.NewConn does) and every send after that is
+// array indexing end to end.
+func TestResolvedPathForwardZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNetwork(eng)
+	sw := n.NewSwitch("tor", LayerRack)
+	src := n.NewHost("src")
+	dst := n.NewHost("dst")
+	n.AttachHost(src, sw, netem.Gbps, 20*sim.Microsecond, ECNMaker(100, 10), LayerRack)
+	n.AttachHost(dst, sw, netem.Gbps, 20*sim.Microsecond, ECNMaker(100, 10), LayerRack)
+	ep := &nullEndpoint{}
+	conn := n.NextConnID()
+	slot := dst.Register(conn, ep)
+
+	path := src.PathTo(dst.PrimaryAddr())
+	if path == nil || path.Len() != 2 {
+		t.Fatalf("path resolution failed: %v", path)
+	}
+	send := func() {
+		p := n.Pool.Data(conn, src.PrimaryAddr(), dst.PrimaryAddr(), 0, netem.MSS, true)
+		p.Slot = slot
+		p.SetPath(path)
+		src.Send(p)
+		eng.Run(sim.MaxTime)
+	}
+	for i := 0; i < 32; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(1000, send); allocs != 0 {
+		t.Fatalf("resolved-path forwarding allocates %v/op, want 0", allocs)
+	}
+	if ep.delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	n.CheckRoutingSanity()
+}

@@ -180,7 +180,9 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 	}
 
 	// Routing tables: for every (host, alias) address install the
-	// two-level-lookup path at every switch.
+	// two-level-lookup path at every switch. All addresses exist by now, so
+	// pre-size every table once instead of regrowing inside the loops.
+	n.ReserveRoutes()
 	for h, host := range ft.HostList {
 		p, e, i := ft.hostPod[h], ft.hostEdge[h], ft.hostIdx[h]
 		for a, addr := range host.Addrs() {

@@ -119,6 +119,15 @@ func (n *Network) AddAddr(h *netem.Host) netem.Addr {
 // HostByAddr resolves an address to its owner.
 func (n *Network) HostByAddr(a netem.Addr) *netem.Host { return n.addrHost[a] }
 
+// ReserveRoutes pre-sizes every switch's forwarding table for the addresses
+// allocated so far. Builders call it after creating all hosts and before
+// the bulk route-install loops, so installs never regrow tables.
+func (n *Network) ReserveRoutes() {
+	for _, s := range n.Switches {
+		s.Reserve(n.nextAddr - 1)
+	}
+}
+
 // NextConnID allocates a connection identifier.
 func (n *Network) NextConnID() netem.ConnID {
 	id := n.nextConn

@@ -145,6 +145,8 @@ func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
 	}
 
 	// Routing: for each (server, alias) address, the upward path digits.
+	// All addresses exist by now; pre-size the tables once.
+	n.ReserveRoutes()
 	for idx, h := range v.Servers {
 		t := v.serverToR[idx]
 		for a, addr := range h.Addrs() {

@@ -87,6 +87,15 @@ type Conn struct {
 	supply           Supply
 	member           *cc.Member
 
+	// Resolved once at setup so the per-packet path is lookup-free:
+	// srcSlot/dstSlot are the hosts' demux slots for this connection
+	// (stamped on packets so delivery skips the ConnID map), and
+	// fwdPath/revPath are the resolved link sequences each direction
+	// follows (nil on hand-built topologies without full routes — those
+	// packets forward hop-by-hop, identically).
+	srcSlot, dstSlot int32
+	fwdPath, revPath *netem.Path
+
 	onComplete  func(*Conn)
 	onProgress  func(sim.Time, int)
 	onRTTSample func(sim.Duration)
@@ -178,9 +187,27 @@ func NewConn(eng *sim.Engine, opts Options) *Conn {
 	if c.dstAddr == 0 && len(opts.Dst.Addrs()) > 0 {
 		c.dstAddr = opts.Dst.PrimaryAddr()
 	}
-	opts.Src.Register(c.id, senderHalf{c})
-	opts.Dst.Register(c.id, receiverHalf{c})
+	c.srcSlot = opts.Src.Register(c.id, senderHalf{c})
+	c.dstSlot = opts.Dst.Register(c.id, receiverHalf{c})
+	c.fwdPath = opts.Src.PathTo(c.dstAddr)
+	c.revPath = opts.Dst.PathTo(c.srcAddr)
 	return c
+}
+
+// sendFwd stamps the forward demux slot and resolved path and transmits
+// toward the receiver.
+func (c *Conn) sendFwd(p *netem.Packet) {
+	p.Slot = c.dstSlot
+	p.SetPath(c.fwdPath)
+	c.src.Send(p)
+}
+
+// sendRev stamps the reverse demux slot and resolved path and transmits
+// toward the sender (ACKs and the SYN-ACK).
+func (c *Conn) sendRev(p *netem.Packet) {
+	p.Slot = c.srcSlot
+	p.SetPath(c.revPath)
+	c.dst.Send(p)
 }
 
 // ID returns the connection identifier.
@@ -235,7 +262,7 @@ func (c *Conn) Start() {
 func (c *Conn) sendSYN() {
 	p := c.src.PacketPool().Control(c.id, c.srcAddr, c.dstAddr, true, c.ctrl.ECNCapable())
 	p.SendTime = int64(c.eng.Now())
-	c.src.Send(p)
+	c.sendFwd(p)
 	c.armRTO(c.rtt.RTO())
 }
 
@@ -488,7 +515,7 @@ func (c *Conn) sendSegment(seq int64, payload int, retrans bool) {
 	} else {
 		c.stats.SentSegments++
 	}
-	c.src.Send(p)
+	c.sendFwd(p)
 }
 
 func (c *Conn) resend(seq int64) {
@@ -644,7 +671,7 @@ func (c *Conn) receiverDeliver(p *netem.Packet) {
 		ack := c.dst.PacketPool().Ack(c.id, c.dstAddr, c.srcAddr, 0)
 		ack.SYN = true
 		ack.EchoTime = p.SendTime
-		c.dst.Send(ack)
+		c.sendRev(ack)
 		return
 	}
 	if p.IsAck || p.SYN {
@@ -740,7 +767,7 @@ func (c *Conn) sendAck() {
 	ack.EchoTime = c.lastTriggerTS
 	c.delayCount = 0
 	c.stopDelAck()
-	c.dst.Send(ack)
+	c.sendRev(ack)
 }
 
 func (c *Conn) onDelAckTimeout() {
