@@ -13,9 +13,11 @@ import (
 	"testing"
 
 	"xmp/internal/exp"
+	"xmp/internal/mptcp"
 	"xmp/internal/netem"
 	"xmp/internal/sim"
 	"xmp/internal/topo"
+	"xmp/internal/transport"
 	"xmp/internal/workload"
 )
 
@@ -393,4 +395,77 @@ func BenchmarkMatrixParallel(b *testing.B) {
 			b.ReportMetric(m.Get(exp.Random, exp.SchemeXMP2).Collector.Goodput.Mean(), "xmp2-random-Mbps")
 		})
 	}
+}
+
+// benchShortFlowNet builds the small fat-tree + arena rig the launch-path
+// benchmarks share. The collector is nil on purpose: metrics.Dist appends
+// samples, and its amortized growth would obscure the zero-alloc claim the
+// recycled launch path makes.
+func benchShortFlowNet() (*sim.Engine, workload.Config) {
+	eng := sim.NewEngine()
+	cfg := topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10))
+	cfg.K = 4
+	ft := topo.NewFatTree(eng, cfg)
+	return eng, workload.Config{
+		Net:       ft,
+		RNG:       sim.NewRNG(1),
+		Scheme:    exp.SchemeXMP2,
+		Transport: transport.DefaultConfig(),
+		Stop:      sim.MaxTime,
+		Arena:     mptcp.NewArena(),
+	}
+}
+
+// BenchmarkLaunchFlow measures one complete short-flow lifetime — launch,
+// transfer, completion, release — through a warm arena. After the warmup
+// launches below, every iteration recycles the previous flow's entire
+// graph, so the alloc column must read 0 (pinned by
+// TestLaunchFlowRecycledZeroAlloc in internal/workload).
+func BenchmarkLaunchFlow(b *testing.B) {
+	eng, cfg := benchShortFlowNet()
+	for i := 0; i < 8; i++ {
+		workload.LaunchFlow(&cfg, 0, 12, 64<<10, nil)
+		eng.RunAll(1 << 62)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.LaunchFlow(&cfg, 0, 12, 64<<10, nil)
+		eng.RunAll(1 << 62)
+	}
+}
+
+// BenchmarkIncastCell runs a scaled-down cousin of the FCT campaign's
+// 10k-sender burst — 2048 synchronized senders into one port of the k=8
+// fabric — the fan-in stress the arena's quarantine and the host demux
+// slot recycling are sized for.
+func BenchmarkIncastCell(b *testing.B) {
+	var fct, drops float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
+		col := workload.NewCollector(16)
+		cfg := workload.Config{
+			Net:       ft,
+			RNG:       sim.NewRNG(1),
+			Transport: transport.DefaultConfig(),
+			Collector: col,
+			Stop:      sim.MaxTime,
+			Arena:     mptcp.NewArena(),
+		}
+		workload.StartIncastBurst(workload.IncastBurstConfig{
+			Config:        cfg,
+			Senders:       2048,
+			ResponseBytes: 4 << 10,
+			Rounds:        1,
+		})
+		eng.RunAll(1 << 62)
+		fct = col.FCT.Percentile(99)
+		drops = 0
+		for _, layer := range []string{topo.LayerCore, topo.LayerAggregation, topo.LayerRack} {
+			drops += float64(ft.TotalQueueStats(layer).DroppedPackets)
+		}
+	}
+	b.ReportMetric(fct, "fct-p99-ms")
+	b.ReportMetric(drops, "drops")
 }

@@ -48,6 +48,8 @@ Subcommands:
   incastsweep  job completion vs fan-in (4..32 servers)
   sack      SACK vs NewReno ablation for the loss-based schemes
   vl2       scheme comparison on a VL2 Clos fabric (generalization)
+  fct       short-flow FCT percentiles: Pareto web-search/data-mining loops
+            and a 10,240-sender incast burst
   all       everything above
   merge     reassemble per-shard -json exports into the full campaign output
   worker    serve the shard-task API for "xmpsim dispatch" (-listen :port)
@@ -55,7 +57,7 @@ Subcommands:
             -shards N); with no -workers, spawns -local N local workers
 
 Campaign subcommands (matrix, table2, ablation, sweep, params,
-incastsweep, sack, vl2) accept -shard i/n to run only the cells owned by
+incastsweep, sack, vl2, fct) accept -shard i/n to run only the cells owned by
 shard i of n; the shard file written by -json is the output, and
 "xmpsim merge shard-*.json" rebuilds tables byte-identical to an
 unsharded run. merge also accepts glob patterns and directories (every
@@ -83,7 +85,7 @@ var (
 	// dispatch flags.
 	workersStr   = flag.String("workers", "", "dispatch: comma-separated worker addresses (host:port); empty spawns -local workers")
 	localWorkers = flag.Int("local", 2, "dispatch: local worker subprocesses to spawn when -workers is empty")
-	campaignName = flag.String("campaign", "", "dispatch: campaign to run (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2)")
+	campaignName = flag.String("campaign", "", "dispatch: campaign to run (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct)")
 	shardCount   = flag.Int("shards", 0, "dispatch: shard tasks to partition the campaign into (default: one per worker)")
 	outDir       = flag.String("outdir", "", "dispatch: also write the per-shard artifacts (shard-N.json) into this directory")
 	taskTimeout  = flag.Duration("task-timeout", 0, "dispatch: per-attempt timeout (default: derived from campaign scale)")
@@ -190,6 +192,8 @@ func main() {
 		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "vl2":
 		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
+	case "fct":
+		exp.RenderFCT(os.Stdout, exp.RunFCT(scaleT(40*sim.Millisecond), *jobs, progress()))
 	case "merge":
 		runMerge()
 	case "worker":
@@ -209,6 +213,7 @@ func main() {
 		exp.RenderIncastSweep(os.Stdout, exp.RunIncastSweep(nil, scaleT(200*sim.Millisecond), *jobs, progress()))
 		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), *jobs, progress()))
 		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
+		exp.RenderFCT(os.Stdout, exp.RunFCT(scaleT(40*sim.Millisecond), *jobs, progress()))
 	default:
 		usage()
 		os.Exit(2)
@@ -359,9 +364,9 @@ func shardSpec(cmd string) (exp.ShardSpec, bool) {
 		return exp.Unsharded, false
 	}
 	switch cmd {
-	case "matrix", "table2", "ablation", "sweep", "params", "incastsweep", "sack", "vl2":
+	case "matrix", "table2", "ablation", "sweep", "params", "incastsweep", "sack", "vl2", "fct":
 	default:
-		fmt.Fprintf(os.Stderr, "xmpsim: -shard applies to campaign subcommands (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2), not %q\n", cmd)
+		fmt.Fprintf(os.Stderr, "xmpsim: -shard applies to campaign subcommands (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct), not %q\n", cmd)
 		os.Exit(2)
 	}
 	spec, err := exp.ParseShardSpec(*shardStr)
@@ -430,7 +435,7 @@ func runWorker() {
 // spawns -local worker subprocesses of this same binary.
 func runDispatch() {
 	if *campaignName == "" {
-		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2)")
+		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct)")
 		os.Exit(2)
 	}
 	var workers []string

@@ -58,6 +58,11 @@ type Controller interface {
 	// OnRetransmitTimeout fires on an RTO; controllers collapse to a
 	// minimal window and re-enter slow start.
 	OnRetransmitTimeout()
+	// Reset returns the controller to its as-constructed state with the
+	// given initial window, so the flow arena can recycle a controller
+	// into a fresh connection without reallocating it. A reset controller
+	// must be indistinguishable from a newly constructed one.
+	Reset(initialCwnd int)
 }
 
 // EchoMode selects the receiver's congestion-feedback behaviour.

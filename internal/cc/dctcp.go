@@ -122,3 +122,17 @@ func (d *DCTCP) OnRetransmitTimeout() {
 	d.cwnd = MinWindow
 	d.reduced = false
 }
+
+// Reset implements Controller: restore the as-constructed state.
+func (d *DCTCP) Reset(initialCwnd int) {
+	if initialCwnd < MinWindow {
+		initialCwnd = MinWindow
+	}
+	*d = DCTCP{
+		cwnd:      float64(initialCwnd),
+		alpha:     1,
+		ssthresh:  DefaultSsthresh,
+		g:         d.g,
+		windowEnd: -1,
+	}
+}

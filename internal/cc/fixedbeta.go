@@ -123,3 +123,17 @@ func (f *FixedBeta) OnRetransmitTimeout() {
 	f.cwnd = MinWindow
 	f.reduced = false
 }
+
+// Reset implements Controller: restore the as-constructed state.
+func (f *FixedBeta) Reset(initialCwnd int) {
+	if initialCwnd < MinWindow {
+		initialCwnd = MinWindow
+	}
+	*f = FixedBeta{
+		cwnd:     initialCwnd,
+		ssthresh: DefaultSsthresh,
+		beta:     f.beta,
+		begSeq:   -1,
+		delta:    1,
+	}
+}

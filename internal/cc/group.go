@@ -35,14 +35,39 @@ func (m *Member) Rate() float64 {
 // simply never shares its group.
 type FlowGroup struct {
 	members []*Member
+	// block holds pre-allocated member storage carved out by Join; see Grow.
+	block []Member
 }
 
 // NewFlowGroup returns an empty group.
 func NewFlowGroup() *FlowGroup { return &FlowGroup{} }
 
+// Grow pre-allocates room for n more members in two block allocations, so
+// the following n Joins allocate nothing. Purely an optimization: Join
+// works the same without it.
+func (g *FlowGroup) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(g.members) - len(g.members); free < n {
+		grown := make([]*Member, len(g.members), len(g.members)+n)
+		copy(grown, g.members)
+		g.members = grown
+	}
+	if len(g.block) < n {
+		g.block = make([]Member, n)
+	}
+}
+
 // Join registers a new subflow and returns its state slot.
 func (g *FlowGroup) Join() *Member {
-	m := &Member{}
+	var m *Member
+	if len(g.block) > 0 {
+		m = &g.block[0]
+		g.block = g.block[1:]
+	} else {
+		m = &Member{}
+	}
 	g.members = append(g.members, m)
 	return m
 }

@@ -89,6 +89,20 @@ func (r *Reno) OnRetransmitTimeout() {
 	r.reduced = false
 }
 
+// Reset implements Controller: restore the as-constructed state.
+func (r *Reno) Reset(initialCwnd int) {
+	if initialCwnd < MinWindow {
+		initialCwnd = MinWindow
+	}
+	ecn := r.ecn
+	*r = Reno{
+		cwnd:     float64(initialCwnd),
+		ssthresh: DefaultSsthresh,
+		ecn:      ecn,
+		maxCwnd:  DefaultSsthresh,
+	}
+}
+
 func (r *Reno) halve() {
 	r.ssthresh = max(r.cwnd/2, 2)
 	r.cwnd = r.ssthresh

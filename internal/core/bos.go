@@ -193,3 +193,21 @@ func (b *BOS) OnRetransmitTimeout() {
 	b.cwnd = MinCwnd
 	b.reduced = false
 }
+
+// Reset implements cc.Controller: restore the as-constructed state,
+// retaining β, the TraSh coupling, and the ablation flag — those are the
+// controller's configuration, not per-connection state.
+func (b *BOS) Reset(initialCwnd int) {
+	if initialCwnd < MinCwnd {
+		initialCwnd = MinCwnd
+	}
+	*b = BOS{
+		cwnd:            initialCwnd,
+		ssthresh:        cc.DefaultSsthresh,
+		beta:            b.beta,
+		delta:           1,
+		deltaFn:         b.deltaFn,
+		begSeq:          -1,
+		DisableCwrGuard: b.DisableCwrGuard,
+	}
+}

@@ -35,7 +35,7 @@ func ablationRun(variant string, q func(*sim.RNG) netem.Queue, echo cc.EchoMode,
 		Pairs:              4,
 		BottleneckCapacity: netem.Gbps,
 		HopDelay:           37500 * sim.Nanosecond,
-		BottleneckQueue:    func() netem.Queue { return q(rng) },
+		BottleneckQueue:    func(*netem.BuildArena) netem.Queue { return q(rng) },
 	})
 	cfg := transport.DefaultConfig()
 	cfg.EchoMode = echo

@@ -98,6 +98,9 @@ var campaignRunners = map[string]func(p RunParams, shard ShardSpec, progress io.
 	CampaignVL2: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
 		return RunVL2ComparisonShard(nil, p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
 	},
+	CampaignFCT: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunFCTShard(p.scaleT(40*sim.Millisecond), shard, p.Jobs, progress)
+	},
 }
 
 // CampaignNames returns the registered campaign names, sorted.

@@ -25,7 +25,7 @@ func TestCampaignNamesComplete(t *testing.T) {
 	names := CampaignNames()
 	for _, want := range []string{
 		CampaignMatrix, CampaignTable2, CampaignAblation, CampaignSubflow,
-		CampaignParams, CampaignIncast, CampaignSACK, CampaignVL2,
+		CampaignParams, CampaignIncast, CampaignSACK, CampaignVL2, CampaignFCT,
 	} {
 		found := false
 		for _, n := range names {

@@ -81,5 +81,8 @@ func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 // f2 formats a float with two decimals.
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
+// f3 formats a float with three decimals (sub-millisecond FCT tails).
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
 // pct formats a fraction as a percentage.
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"xmp/internal/metrics"
+	"xmp/internal/mptcp"
 	"xmp/internal/sim"
 	"xmp/internal/topo"
 	"xmp/internal/transport"
@@ -112,6 +113,10 @@ func RunFatTree(cfg FatTreeConfig) *FatTreeResult {
 		Transport: transport.DefaultConfig(),
 		Collector: col,
 		Stop:      sim.Time(cfg.Duration),
+		// Recycle the whole flow graph across launches: nothing here
+		// retains a *Flow past completion, so steady-state flow launch is
+		// allocation-free.
+		Arena: mptcp.NewArena(),
 	}
 
 	switch cfg.Pattern {

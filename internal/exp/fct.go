@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"xmp/internal/mptcp"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/transport"
+	"xmp/internal/workload"
+)
+
+// This file is the short-flow FCT campaign: the million-short-flow regime
+// the flow-graph arena exists for. Two bounded-Pareto closed-loop cells
+// (web-search and data-mining size tails) plus one scaled incast burst
+// with ten thousand concurrent senders, all plain-TCP latency traffic on
+// the k=8 fat-tree, reported as flow-completion-time percentiles.
+
+// FCTPoint is one FCT cell's outcome.
+type FCTPoint struct {
+	// Cell names the workload ("websearch", "datamining", "incast10k").
+	Cell string
+	// Launched counts flows started; Flows counts completions measured.
+	Launched int
+	Flows    int
+	// FCT percentiles in milliseconds.
+	P50Ms, P95Ms, P99Ms, P999Ms float64
+	Drops                       int64
+}
+
+// fctSenders is the incast-burst fan-in: with 127 non-client hosts on the
+// k=8 fabric, 10240 senders is 80-81 worker processes per machine.
+const fctSenders = 10240
+
+// fctCell is one registered cell of the FCT campaign.
+type fctCell struct {
+	name string
+	run  func(duration sim.Duration) FCTPoint
+}
+
+// fctBase assembles the shared fabric: k=8 fat-tree, ECN switches at the
+// matrix defaults, and an arena so steady-state short-flow launch recycles
+// the whole flow graph instead of allocating it.
+func fctBase(duration sim.Duration) (*sim.Engine, *topo.FatTree, workload.Config) {
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
+	base := workload.Config{
+		Net:       ft,
+		RNG:       sim.NewRNG(1),
+		Transport: transport.DefaultConfig(),
+		Collector: workload.NewCollector(16),
+		Stop:      sim.Time(duration),
+		Arena:     mptcp.NewArena(),
+	}
+	return eng, ft, base
+}
+
+// fctPoint runs the engine dry and folds the collector into a point.
+// launched is read only after the run, when the generator's closed loops
+// have stopped relaunching.
+func fctPoint(name string, eng *sim.Engine, ft *topo.FatTree, base workload.Config, launched *int) FCTPoint {
+	eng.RunAll(4_000_000_000)
+	col := base.Collector
+	p := FCTPoint{
+		Cell:     name,
+		Launched: *launched,
+		Flows:    col.FCT.N(),
+		P50Ms:    col.FCT.Percentile(50),
+		P95Ms:    col.FCT.Percentile(95),
+		P99Ms:    col.FCT.Percentile(99),
+		P999Ms:   col.FCT.Percentile(99.9),
+	}
+	for _, layer := range []string{topo.LayerCore, topo.LayerAggregation, topo.LayerRack} {
+		p.Drops += ft.TotalQueueStats(layer).DroppedPackets
+	}
+	return p
+}
+
+// fctCells returns the campaign's cells. The Pareto parameters sketch the
+// published DCN traces at the simulator's reduced scale: the web-search
+// tail is mostly tens of kilobytes with a bounded heavy tail, the
+// data-mining tail is an order of magnitude heavier in both mean and
+// bound.
+func fctCells() []fctCell {
+	return []fctCell{
+		{name: "websearch", run: func(d sim.Duration) FCTPoint {
+			eng, ft, base := fctBase(d)
+			sf := workload.StartShortFlows(workload.ShortFlowsConfig{
+				Config:    base,
+				Alpha:     1.1,
+				MeanBytes: 48 << 10,
+				MinBytes:  1 << 10,
+				MaxBytes:  2 << 20,
+				PerHost:   4,
+			})
+			pt := fctPoint("websearch", eng, ft, base, &sf.Launched)
+			return pt
+		}},
+		{name: "datamining", run: func(d sim.Duration) FCTPoint {
+			eng, ft, base := fctBase(d)
+			sf := workload.StartShortFlows(workload.ShortFlowsConfig{
+				Config:    base,
+				Alpha:     1.05,
+				MeanBytes: 256 << 10,
+				MinBytes:  1 << 10,
+				MaxBytes:  16 << 20,
+				PerHost:   2,
+			})
+			pt := fctPoint("datamining", eng, ft, base, &sf.Launched)
+			return pt
+		}},
+		{name: "incast10k", run: func(d sim.Duration) FCTPoint {
+			// The burst is one synchronized round: duration does not gate
+			// it (Rounds does), so the cell's cost is fan-in-driven and
+			// timescale-independent, like the paper's fixed-size jobs.
+			eng, ft, base := fctBase(d)
+			burst := workload.StartIncastBurst(workload.IncastBurstConfig{
+				Config:        base,
+				Senders:       fctSenders,
+				ResponseBytes: 4 << 10,
+				Rounds:        1,
+			})
+			pt := fctPoint("incast10k", eng, ft, base, &burst.Launched)
+			return pt
+		}},
+	}
+}
+
+// RunFCT runs the whole FCT campaign and returns its cells in order.
+func RunFCT(duration sim.Duration, jobs int, progress io.Writer) []FCTPoint {
+	return cellData(RunFCTShard(duration, Unsharded, jobs, progress).Cells)
+}
+
+// RunFCTShard is the sharded campaign entry behind RunFCT; cell i is
+// fctCells()[i].
+func RunFCTShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[FCTPoint] {
+	if duration == 0 {
+		duration = 40 * sim.Millisecond
+	}
+	cells := fctCells()
+	desc := fmt.Sprintf("fct cells=[websearch datamining incast10k] senders=%d duration=%d", fctSenders, int64(duration))
+	out := RunShard(len(cells), jobs, shard,
+		func(i int) FCTPoint { return cells[i].run(duration) },
+		func(_ int, p FCTPoint) {
+			if progress != nil {
+				fmt.Fprintf(progress, "fct %-10s flows=%-6d p50=%7.3fms p99=%8.3fms p999=%8.3fms drops=%d\n",
+					p.Cell, p.Flows, p.P50Ms, p.P99Ms, p.P999Ms, p.Drops)
+			}
+		})
+	return &ShardFile[FCTPoint]{Manifest: newManifest(CampaignFCT, desc, shard, len(cells)), Cells: out}
+}
+
+// RenderFCT prints the percentile table.
+func RenderFCT(w io.Writer, pts []FCTPoint) {
+	fmt.Fprintln(w, "Flow completion times: bounded-Pareto short flows and a 10k-sender incast burst (plain TCP, k=8 fat-tree)")
+	tb := newTable(w, 12, 9, 9, 11, 11, 11, 11, 9)
+	tb.row("cell", "launched", "flows", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "drops")
+	tb.rule()
+	for _, p := range pts {
+		tb.row(p.Cell, fmt.Sprintf("%d", p.Launched), fmt.Sprintf("%d", p.Flows),
+			f3(p.P50Ms), f3(p.P95Ms), f3(p.P99Ms), f3(p.P999Ms), fmt.Sprintf("%d", p.Drops))
+	}
+}

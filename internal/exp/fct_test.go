@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestGoldenFCTViaShards regenerates the FCT campaign through the sharded
+// path — three shards of one cell each, exported, merged — and diffs the
+// rendered table against the checked-in golden. Unlike the matrix golden
+// this campaign finishes in about a second, so the test runs ungated
+// (skipped only under -short).
+func TestGoldenFCTViaShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full FCT campaign (~1s per shard set)")
+	}
+	golden, err := os.ReadFile("../../results_fct.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*ShardFile[FCTPoint], 3)
+	for i := range files {
+		files[i] = RunFCTShard(0, ShardSpec{Index: i, Count: 3}, 0, nil)
+	}
+	res, err := MergeShardBlobs(encodeBlobs(t, files))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var got bytes.Buffer
+	res.Render(&got)
+	diffLines(t, "results_fct.txt", stripTrailer(string(golden)), stripTrailer(got.String()))
+}
+
+// TestFCTIncastBurstScale pins the headline acceptance numbers of the
+// incast cell: at least 10,000 concurrent senders, every one of them
+// completing, with real loss on the fan-in port.
+func TestFCTIncastBurstScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 10k-sender incast cell")
+	}
+	cells := fctCells()
+	var pt FCTPoint
+	found := false
+	for _, c := range cells {
+		if c.name == "incast10k" {
+			pt = c.run(0)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("incast10k cell missing from the FCT campaign")
+	}
+	if pt.Launched < 10000 {
+		t.Errorf("incast burst launched %d senders, want >= 10000", pt.Launched)
+	}
+	if pt.Flows != pt.Launched {
+		t.Errorf("only %d of %d incast flows completed", pt.Flows, pt.Launched)
+	}
+	if pt.Drops == 0 {
+		t.Error("a 10k-sender synchronized burst produced zero drops; fan-in congestion is not being modeled")
+	}
+	if pt.P999Ms <= pt.P50Ms || pt.P50Ms <= 0 {
+		t.Errorf("implausible FCT percentiles: p50=%v p999=%v", pt.P50Ms, pt.P999Ms)
+	}
+}

@@ -22,6 +22,7 @@ const (
 	CampaignIncast   = "incastsweep"
 	CampaignSACK     = "sack"
 	CampaignSubflow  = "sweep"
+	CampaignFCT      = "fct"
 	CampaignAblation = "ablation"
 	CampaignVL2      = "vl2"
 )
@@ -184,6 +185,7 @@ type MergeResult struct {
 	Subflow  []SubflowSweepResult
 	Ablation []AblationResult
 	VL2      []VL2Point
+	FCT      []FCTPoint
 }
 
 // MergeShardBlobs decodes, validates and reassembles a set of shard files
@@ -223,6 +225,8 @@ func MergeShardBlobs(blobs []ShardBlob) (*MergeResult, error) {
 		res.Ablation, err = mergeList[AblationResult](blobs)
 	case CampaignVL2:
 		res.VL2, err = mergeList[VL2Point](blobs)
+	case CampaignFCT:
+		res.FCT, err = mergeList[FCTPoint](blobs)
 	default:
 		err = fmt.Errorf("%s: unknown campaign %q", blobs[0].Name, peek.Manifest.Campaign)
 	}
@@ -254,6 +258,8 @@ func (r *MergeResult) Render(w io.Writer) {
 		RenderAblations(w, r.Ablation)
 	case CampaignVL2:
 		RenderVL2(w, r.VL2)
+	case CampaignFCT:
+		RenderFCT(w, r.FCT)
 	}
 }
 

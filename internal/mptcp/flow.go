@@ -124,6 +124,10 @@ type Options struct {
 	// OnRTTSample fires for every RTT measurement on subflow i (the
 	// Figure 10 distributions).
 	OnRTTSample func(subflow int, rtt sim.Duration)
+
+	// connAlloc, set by Arena.NewFlow, slab-allocates the subflow
+	// connections of fresh flows. Nil (plain allocation) outside arenas.
+	connAlloc *transport.ConnAllocator
 }
 
 // Flow is one (possibly multipath) data transfer.
@@ -134,6 +138,7 @@ type Flow struct {
 	alg       Algorithm
 	group     *cc.FlowGroup
 	conns     []*transport.Conn
+	members   []*cc.Member
 	offsets   []sim.Duration
 	remaining int64
 	infinite  bool
@@ -144,11 +149,41 @@ type Flow struct {
 	completed int
 	done      bool
 
-	onComplete func(*Flow)
+	onComplete  func(*Flow)
+	onProgress  func(int, sim.Time, int)
+	onRTTSample func(int, sim.Duration)
+
+	// Once-allocated plumbing retained across arena rebinds: the per-conn
+	// transport callbacks capture (f, idx) and route through the mutable
+	// callback fields above, so recycling a flow into a new transfer swaps
+	// a few field assignments instead of reallocating closures.
+	connDone    func(*transport.Conn)
+	progressCBs []func(sim.Time, int)
+	rttCBs      []func(sim.Duration)
+
+	// Construction shape captured for arena recycling: a recycled flow is
+	// rebound with the same subflow count, algorithm, β, initial window and
+	// transport config, so controllers and coupling state reset in place.
+	icw  int
+	tcfg transport.Config
+
+	// Arena bookkeeping: gen invalidates FlowHandles when the flow is
+	// released or recycled; released guards use-after-release.
+	gen      uint32
+	released bool
+	arena    *Arena
+	shape    shapeKey
 }
 
 // New builds a flow and its subflow connections (idle until Start).
 func New(eng *sim.Engine, opts Options) *Flow {
+	f := &Flow{}
+	initFlow(f, eng, opts)
+	return f
+}
+
+// initFlow is the shared constructor body behind New and Arena.NewFlow.
+func initFlow(f *Flow, eng *sim.Engine, opts Options) {
 	if len(opts.Subflows) == 0 {
 		panic("mptcp: flow needs at least one subflow")
 	}
@@ -170,25 +205,37 @@ func New(eng *sim.Engine, opts Options) *Flow {
 		icw = cc.DefaultInitialWindow
 	}
 
-	f := &Flow{
-		name:       opts.Name,
-		nameFn:     opts.NameFn,
-		eng:        eng,
-		alg:        opts.Algorithm,
-		group:      cc.NewFlowGroup(),
-		remaining:  opts.TotalBytes,
-		infinite:   opts.TotalBytes < 0,
-		onComplete: opts.OnComplete,
+	*f = Flow{
+		name:        opts.Name,
+		nameFn:      opts.NameFn,
+		eng:         eng,
+		alg:         opts.Algorithm,
+		group:       cc.NewFlowGroup(),
+		remaining:   opts.TotalBytes,
+		infinite:    opts.TotalBytes < 0,
+		onComplete:  opts.OnComplete,
+		onProgress:  opts.OnProgress,
+		onRTTSample: opts.OnRTTSample,
+		icw:         icw,
 	}
+	f.connDone = func(*transport.Conn) { f.subflowDone() }
 
 	tc := opts.Transport
 	tc.EchoMode = opts.Algorithm.EchoMode()
+	f.tcfg = tc
 
 	var trash *core.TraSh
 	if opts.Algorithm == AlgXMP {
 		trash = core.NewTraSh(f.group)
 	}
 
+	n := len(opts.Subflows)
+	f.group.Grow(n)
+	f.conns = make([]*transport.Conn, 0, n)
+	f.members = make([]*cc.Member, 0, n)
+	f.offsets = make([]sim.Duration, 0, n)
+	f.progressCBs = make([]func(sim.Time, int), n)
+	f.rttCBs = make([]func(sim.Duration), n)
 	for i, spec := range opts.Subflows {
 		member := f.group.Join()
 		var ctrl cc.Controller
@@ -211,31 +258,91 @@ func New(eng *sim.Engine, opts Options) *Flow {
 			panic("mptcp: unknown algorithm")
 		}
 		idx := i
-		topts := transport.Options{
-			ID:         opts.NextConnID(),
-			Src:        opts.Src,
-			Dst:        opts.Dst,
-			SrcAddr:    spec.SrcAddr,
-			DstAddr:    spec.DstAddr,
-			Controller: ctrl,
-			Config:     tc,
-			Supply:     f,
-			Member:     member,
-			OnComplete: func(*transport.Conn) { f.subflowDone() },
+		f.progressCBs[i] = func(now sim.Time, bytes int) {
+			if f.onProgress != nil {
+				f.onProgress(idx, now, bytes)
+			}
 		}
-		if opts.OnProgress != nil {
-			cb := opts.OnProgress
-			topts.OnProgress = func(now sim.Time, bytes int) { cb(idx, now, bytes) }
+		f.rttCBs[i] = func(rtt sim.Duration) {
+			if f.onRTTSample != nil {
+				f.onRTTSample(idx, rtt)
+			}
 		}
-		if opts.OnRTTSample != nil {
-			cb := opts.OnRTTSample
-			topts.OnRTTSample = func(rtt sim.Duration) { cb(idx, rtt) }
-		}
-		conn := transport.NewConn(eng, topts)
+		conn := opts.connAlloc.NewConn(eng, transport.Options{
+			ID:          opts.NextConnID(),
+			Src:         opts.Src,
+			Dst:         opts.Dst,
+			SrcAddr:     spec.SrcAddr,
+			DstAddr:     spec.DstAddr,
+			Controller:  ctrl,
+			Config:      tc,
+			Supply:      f,
+			Member:      member,
+			OnComplete:  f.connDone,
+			OnProgress:  f.progressCBs[i],
+			OnRTTSample: f.rttCBs[i],
+		})
 		f.conns = append(f.conns, conn)
+		f.members = append(f.members, member)
 		f.offsets = append(f.offsets, opts.Subflows[i].StartOffset)
 	}
-	return f
+}
+
+// rebind recycles a completed flow into the transfer described by opts, in
+// place: same conns, controllers, coupling group and callbacks closures —
+// fresh identity, supply and state. Only the arena calls it, and only for
+// opts matching the flow's shape key (same algorithm, subflow count, β,
+// initial window and transport config) on a drained, released flow.
+func (f *Flow) rebind(opts Options) {
+	if len(opts.Subflows) != len(f.conns) {
+		panic("mptcp: rebind with mismatched subflow count")
+	}
+	f.name = opts.Name
+	f.nameFn = opts.NameFn
+	f.remaining = opts.TotalBytes
+	f.infinite = opts.TotalBytes < 0
+	f.onComplete = opts.OnComplete
+	f.onProgress = opts.OnProgress
+	f.onRTTSample = opts.OnRTTSample
+	f.started = false
+	f.startAt, f.doneAt = 0, 0
+	f.completed = 0
+	f.done = false
+	for i, c := range f.conns {
+		spec := opts.Subflows[i]
+		ctrl := c.Controller()
+		ctrl.Reset(f.icw)
+		// Members back to their fresh-Join state (Ext is structural: OLIA's
+		// sibling pointer survives, its statistics were reset above).
+		m := f.members[i]
+		m.Cwnd, m.SRTT, m.Active = 0, 0, false
+		c.Rebind(transport.Options{
+			ID:          opts.NextConnID(),
+			Src:         opts.Src,
+			Dst:         opts.Dst,
+			SrcAddr:     spec.SrcAddr,
+			DstAddr:     spec.DstAddr,
+			Controller:  ctrl,
+			Config:      f.tcfg,
+			Supply:      f,
+			Member:      m,
+			OnComplete:  f.connDone,
+			OnProgress:  f.progressCBs[i],
+			OnRTTSample: f.rttCBs[i],
+		})
+		f.offsets[i] = spec.StartOffset
+	}
+}
+
+// drained reports whether the network holds no packet of any subflow: the
+// point past which slot and ID reuse can never misdeliver.
+func (f *Flow) drained() bool {
+	for _, c := range f.conns {
+		if c.InFlight() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Next implements transport.Supply: subflows pull segments on demand from
@@ -258,6 +365,9 @@ func (f *Flow) Next() (int, bool) {
 
 // Start launches every subflow at its configured StartOffset from now.
 func (f *Flow) Start() {
+	if f.released {
+		panic("mptcp: Start on a flow released to the arena")
+	}
 	if f.started {
 		panic("mptcp: flow already started")
 	}
@@ -277,6 +387,9 @@ func (f *Flow) Start() {
 // once outstanding data is acknowledged. Used by the rate experiments
 // that stop long-lived flows on a schedule.
 func (f *Flow) StopSending() {
+	if f.released {
+		panic("mptcp: StopSending on a flow released to the arena")
+	}
 	f.remaining = 0
 	f.infinite = false
 	for _, c := range f.conns {

@@ -118,3 +118,14 @@ func (l *LIA) OnRetransmitTimeout() {
 	l.cwnd = cc.MinWindow
 	l.member.Cwnd = l.Window()
 }
+
+// Reset implements cc.Controller: restore the as-constructed state. The
+// group and member bindings are structural and survive the reset; the
+// member's published state is reset separately by the flow rebind.
+func (l *LIA) Reset(initialCwnd int) {
+	if initialCwnd < cc.MinWindow {
+		initialCwnd = cc.MinWindow
+	}
+	l.cwnd = float64(initialCwnd)
+	l.ssthresh = cc.DefaultSsthresh
+}

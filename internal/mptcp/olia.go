@@ -203,3 +203,17 @@ func (o *OLIA) OnRetransmitTimeout() {
 	o.cwnd = cc.MinWindow
 	o.member.Cwnd = o.Window()
 }
+
+// Reset implements cc.Controller: restore the as-constructed state. The
+// group, member, and member.Ext bindings are structural and survive the
+// reset; the inter-loss history restarts from zero like a fresh flow, and
+// the member's published state is reset separately by the flow rebind.
+func (o *OLIA) Reset(initialCwnd int) {
+	if initialCwnd < cc.MinWindow {
+		initialCwnd = cc.MinWindow
+	}
+	o.cwnd = float64(initialCwnd)
+	o.ssthresh = cc.DefaultSsthresh
+	o.sinceLastLoss = 0
+	o.lastInterLoss = 0
+}

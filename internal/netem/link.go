@@ -59,13 +59,21 @@ type Link struct {
 // NewLink builds a link feeding dst. The queue discipline is supplied by
 // the caller so topologies can mix marking and plain drop-tail queues.
 func NewLink(eng *sim.Engine, name string, capacity Bps, delay sim.Duration, q Queue, dst Receiver) *Link {
+	l := &Link{}
+	initLink(l, eng, name, capacity, delay, q, dst)
+	return l
+}
+
+// initLink is the shared constructor body behind NewLink and the
+// BuildArena variant.
+func initLink(l *Link, eng *sim.Engine, name string, capacity Bps, delay sim.Duration, q Queue, dst Receiver) {
 	if capacity <= 0 {
 		panic("netem: link capacity must be positive")
 	}
 	if q == nil || dst == nil {
 		panic("netem: link requires a queue and a destination")
 	}
-	return &Link{Name: name, eng: eng, capacity: capacity, delay: delay, queue: q, dst: dst, openedAt: eng.Now()}
+	*l = Link{Name: name, eng: eng, capacity: capacity, delay: delay, queue: q, dst: dst, openedAt: eng.Now()}
 }
 
 // TxTime returns the serialization delay of a packet of n bytes.

@@ -122,10 +122,17 @@ type Host struct {
 	conns   []Endpoint // indexed by slot; nil after Unregister
 	connIDs []ConnID   // indexed by slot; guards stale slot stamps
 	connIdx map[ConnID]int32
+	// freeSlots recycles retired demux slots so a run that churns through
+	// short flows keeps its slot tables at the concurrent-connection high
+	// water mark instead of growing per connection ever created.
+	freeSlots []int32
 
-	// paths caches resolved forwarding paths by destination address (see
-	// PathTo in path.go).
-	paths map[Addr]*Path
+	// paths caches resolved forwarding paths indexed by destination
+	// address (see PathTo in path.go): nil = not yet resolved, noPath =
+	// resolved to "no complete path". pathStore, when wired by the
+	// topology builder, arena-allocates the Path structs and hop arrays.
+	paths     []*Path
+	pathStore *PathStore
 
 	// Misdelivered counts packets that arrived for a connection this host
 	// doesn't know (e.g. packets in flight when a connection closed).
@@ -134,11 +141,33 @@ type Host struct {
 
 // NewHost returns a host with no NIC attached yet.
 func NewHost(eng *sim.Engine, id NodeID, name string) *Host {
-	return &Host{
+	h := &Host{}
+	initHost(h, eng, id, name)
+	return h
+}
+
+// demuxHint pre-sizes each host's demux tables (slot slices and the
+// ConnID index) for the typical concurrent-connection population: active
+// conns plus arena-quarantined ones. Growing these lazily from empty costs
+// roughly a dozen allocations per host per run across the append-doubling
+// chains and incremental map growth; pre-sizing makes it three, and a host
+// exceeding the hint just grows past it as before.
+const demuxHint = 32
+
+// initHost is the shared constructor body behind NewHost and the
+// BuildArena variant.
+func initHost(h *Host, eng *sim.Engine, id NodeID, name string) {
+	conns := make([]Endpoint, 1, demuxHint)
+	connIDs := make([]ConnID, 1, demuxHint)
+	connIDs[0] = -1
+	*h = Host{
 		ID: id, Name: name, eng: eng,
-		conns:   []Endpoint{nil}, // slot 0 reserved
-		connIDs: []ConnID{-1},
-		connIdx: make(map[ConnID]int32),
+		// Room for the primary address plus the subflow aliases of the
+		// multi-address fat-tree hosts without append growth.
+		addrs:   make([]Addr, 0, 4),
+		conns:   conns, // slot 0 reserved
+		connIDs: connIDs,
+		connIdx: make(map[ConnID]int32, demuxHint),
 	}
 }
 
@@ -172,21 +201,32 @@ func (h *Host) Register(id ConnID, ep Endpoint) int32 {
 	if _, dup := h.connIdx[id]; dup {
 		panic(fmt.Sprintf("netem: duplicate conn %d on host %s", id, h.Name))
 	}
-	slot := int32(len(h.conns))
-	h.conns = append(h.conns, ep)
-	h.connIDs = append(h.connIDs, id)
+	var slot int32
+	if n := len(h.freeSlots); n > 0 {
+		slot = h.freeSlots[n-1]
+		h.freeSlots = h.freeSlots[:n-1]
+		h.conns[slot] = ep
+		h.connIDs[slot] = id
+	} else {
+		slot = int32(len(h.conns))
+		h.conns = append(h.conns, ep)
+		h.connIDs = append(h.connIDs, id)
+	}
 	h.connIdx[id] = slot
 	return slot
 }
 
-// Unregister removes a connection binding. The slot is retired, not reused:
-// packets still in flight with a stale slot stamp find a nil endpoint and
-// count as misdelivered, never reach a different connection.
+// Unregister removes a connection binding and recycles its slot. Reuse is
+// safe against stale stamps: a packet carrying a reused slot number fails
+// the ConnID check on the fast path (the slot now holds a different
+// connection) and falls back to the map, where its own ConnID is gone — it
+// counts as misdelivered, and can never reach a different connection.
 func (h *Host) Unregister(id ConnID) {
 	if slot, ok := h.connIdx[id]; ok {
 		h.conns[slot] = nil
 		h.connIDs[slot] = -1
 		delete(h.connIdx, id)
+		h.freeSlots = append(h.freeSlots, slot)
 	}
 }
 
@@ -203,6 +243,10 @@ func (h *Host) Send(p *Packet) {
 // has copied what it needs, so the packet is released to its pool here.
 // Endpoints must not retain pooled packets past Deliver.
 func (h *Host) Receive(p *Packet) {
+	// The packet is leaving the network: settle its sender's in-flight
+	// count before delivery, so a flow completed by the ACK this packet
+	// carries observes zero in-flight and is immediately recyclable.
+	p.dropOwner()
 	// Fast path: the sender stamped the demux slot at connection setup; two
 	// array loads verify and deliver. The ConnID check guards against a
 	// packet carrying another host's slot numbering (misrouted packet).

@@ -93,10 +93,27 @@ type Packet struct {
 	path *Path
 	hop  int32
 
+	// Owner points at the sending connection's in-flight reference count,
+	// stamped by the transport at send time. The network decrements it
+	// (and clears the pointer) at the exact point the packet leaves the
+	// simulation — host delivery or pool release on a drop — so a counter
+	// at zero proves no packet of that connection is anywhere in the
+	// network. The flow arena relies on this to recycle connection state
+	// only when nothing in flight can still reach it.
+	Owner *int32
+
 	// pool is the owning PacketPool (nil for plain heap packets); inPool
 	// flags membership in the free-list so a double Release fails fast.
 	pool   *PacketPool
 	inPool bool
+}
+
+// dropOwner decrements the in-flight counter stamped on the packet, once.
+func (p *Packet) dropOwner() {
+	if p.Owner != nil {
+		*p.Owner--
+		p.Owner = nil
+	}
 }
 
 // SetPath stamps a resolved forwarding path onto the packet, positioning it

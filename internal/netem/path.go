@@ -1,5 +1,7 @@
 package netem
 
+import "xmp/internal/arena"
+
 // Path is a fully resolved forwarding path: the ordered sequence of links a
 // packet traverses from the source NIC to the destination host. Transports
 // resolve the path once at connection setup and stamp it on every packet
@@ -23,30 +25,120 @@ func (pa *Path) Len() int { return len(pa.hops) }
 // Hop returns the i-th link of the path.
 func (pa *Path) Hop(i int) *Link { return pa.hops[i] }
 
+// noPath is the cache sentinel for "resolution ran and found no complete
+// path", distinguishing it from a nil (never resolved) cache entry.
+var noPath = &Path{}
+
+// PathStore arena-allocates resolved paths for one network: Path structs
+// come from a slab and every path's hop array is a sub-slice of one shared
+// backing, so resolving a path is at most one amortized allocation instead
+// of a struct plus append-doubling per connection. Single-threaded, like
+// the network that owns it.
+type PathStore struct {
+	slab arena.Slab[Path]
+	hops []*Link
+	// addrSpace tracks the highest address the topology has allocated, so
+	// per-host cache tables are sized once instead of grown per miss.
+	addrSpace int
+}
+
+// GrowAddrSpace records that addresses up to and including a now exist.
+func (ps *PathStore) GrowAddrSpace(a Addr) {
+	if n := int(a) + 1; n > ps.addrSpace {
+		ps.addrSpace = n
+	}
+}
+
+// SetPathStore wires the arena that this host's resolved paths and its
+// path-cache table are allocated from. Topology builders install one store
+// per network; hosts without one fall back to plain allocation.
+func (h *Host) SetPathStore(ps *PathStore) { h.pathStore = ps }
+
 // PathTo resolves and caches the forwarding path from this host to dst.
 // Returns nil when no complete path exists (no NIC, missing route, or the
 // walk ends somewhere other than a host owning dst) — callers fall back to
 // hop-by-hop forwarding, which behaves identically. The result, including
-// nil, is cached: tables are static, so the first resolution is definitive.
+// "no path", is cached: tables are static, so the first resolution is
+// definitive.
 func (h *Host) PathTo(dst Addr) *Path {
-	if pa, ok := h.paths[dst]; ok {
-		return pa
+	if dst < 0 {
+		return nil
 	}
-	pa := resolvePath(h.nic, dst)
-	if h.paths == nil {
-		h.paths = make(map[Addr]*Path)
+	if int(dst) < len(h.paths) {
+		if pa := h.paths[dst]; pa != nil {
+			if pa == noPath {
+				return nil
+			}
+			return pa
+		}
+	} else {
+		want := int(dst) + 1
+		if h.pathStore != nil && h.pathStore.addrSpace > want {
+			want = h.pathStore.addrSpace
+		}
+		grown := make([]*Path, want)
+		copy(grown, h.paths)
+		h.paths = grown
 	}
-	h.paths[dst] = pa
+	pa := resolvePath(h.pathStore, h.nic, dst)
+	if pa == nil {
+		h.paths[dst] = noPath
+	} else {
+		h.paths[dst] = pa
+	}
 	return pa
 }
 
 // resolvePath walks the static routing tables from nic toward dst. The walk
 // is bounded by initialTTL hops, mirroring the TTL guard of hop-by-hop
-// forwarding, so a routing loop resolves to nil rather than hanging.
-func resolvePath(nic *Link, dst Addr) *Path {
+// forwarding, so a routing loop resolves to nil rather than hanging. With a
+// store, hops accumulate in the shared backing and are carved off on
+// success; without one (hand-built hosts in tests) it allocates plainly.
+func resolvePath(ps *PathStore, nic *Link, dst Addr) *Path {
 	if nic == nil || dst < 0 {
 		return nil
 	}
+	if ps == nil {
+		return resolvePathAlloc(nic, dst)
+	}
+	start := len(ps.hops)
+	ps.hops = append(ps.hops, nic)
+	cur := nic.Dst()
+	for i := 0; i < initialTTL; i++ {
+		switch n := cur.(type) {
+		case *Switch:
+			next := n.Route(dst)
+			if next == nil {
+				ps.hops = ps.hops[:start]
+				return nil
+			}
+			ps.hops = append(ps.hops, next)
+			cur = next.Dst()
+		case *Host:
+			for _, a := range n.addrs {
+				if a == dst {
+					pa := ps.slab.Get()
+					// Cap the capacity at the path's own end so an append
+					// through pa could never overwrite a later path's hops.
+					pa.hops = ps.hops[start:len(ps.hops):len(ps.hops)]
+					return pa
+				}
+			}
+			ps.hops = ps.hops[:start]
+			return nil
+		default:
+			// Test sinks and hand-rolled receivers are opaque; leave those
+			// packets on the hop-by-hop path.
+			ps.hops = ps.hops[:start]
+			return nil
+		}
+	}
+	ps.hops = ps.hops[:start]
+	return nil
+}
+
+// resolvePathAlloc is the store-less variant of resolvePath.
+func resolvePathAlloc(nic *Link, dst Addr) *Path {
 	hops := []*Link{nic}
 	cur := nic.Dst()
 	for i := 0; i < initialTTL; i++ {
@@ -66,8 +158,6 @@ func resolvePath(nic *Link, dst Addr) *Path {
 			}
 			return nil
 		default:
-			// Test sinks and hand-rolled receivers are opaque; leave those
-			// packets on the hop-by-hop path.
 			return nil
 		}
 	}

@@ -142,9 +142,25 @@ func TestSlotDemux(t *testing.T) {
 		t.Fatalf("Misdelivered = %d, want 1", h.Misdelivered)
 	}
 
-	// The retired slot must not be handed to a new registration.
-	if slotC := h.Register(300, &countEndpoint{}); slotC == slotA {
-		t.Fatal("retired slot reused for a new connection")
+	// The retired slot is recycled to the next registration, and a stale
+	// stamp for the old connection must NOT cross-deliver to the new
+	// occupant: the ConnID check rejects it and the map fallback finds
+	// nothing.
+	epC := &countEndpoint{}
+	slotC := h.Register(300, epC)
+	if slotC != slotA {
+		t.Fatalf("retired slot not recycled: got %d, want %d", slotC, slotA)
+	}
+	send(100, slotA) // stale stamp for the dead conn 100
+	if epC.delivered != 0 {
+		t.Fatal("stale slot stamp cross-delivered to the slot's new occupant")
+	}
+	if h.Misdelivered != 2 {
+		t.Fatalf("Misdelivered = %d, want 2", h.Misdelivered)
+	}
+	send(300, slotC) // the new occupant still demuxes on the fast path
+	if epC.delivered != 1 {
+		t.Fatal("recycled slot did not deliver to its new connection")
 	}
 }
 

@@ -3,6 +3,8 @@ package netem
 import (
 	"fmt"
 	"os"
+
+	"xmp/internal/arena"
 )
 
 // PacketPool recycles Packet structs within one topology. Like the event
@@ -17,6 +19,9 @@ import (
 // delivery keeps working.
 type PacketPool struct {
 	free []*Packet
+	// slab backs first-time packet allocation in chunks, so warming the
+	// pool to its steady-state depth costs ~depth/chunk heap allocations.
+	slab arena.Slab[Packet]
 
 	// Poison overwrites every recycled packet with sentinel garbage so a
 	// use-after-release surfaces as a loud failure (negative wire size,
@@ -65,7 +70,9 @@ func (pl *PacketPool) get() *Packet {
 		return p
 	}
 	pl.allocs++
-	return &Packet{pool: pl}
+	p := pl.slab.Get()
+	p.pool = pl
+	return p
 }
 
 // Data builds a data segment of payload bytes from src to dst, recycling a
@@ -117,6 +124,7 @@ func (pl *PacketPool) put(p *Packet) {
 	if p.inPool {
 		panic(fmt.Sprintf("netem: double release of packet %s", p))
 	}
+	p.dropOwner() // drops bypass host delivery; settle the in-flight count here
 	p.inPool = true
 	if pl.Poison {
 		poisonPacket(p)

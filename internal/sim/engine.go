@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"xmp/internal/arena"
 )
 
 // Op tags which action a typed Target should take when its event fires.
@@ -160,6 +162,10 @@ type Engine struct {
 	// free is the Event recycling stack. Single-threaded like the engine,
 	// so no locking; never shared across engines.
 	free []*Event
+	// slab backs first-time Event allocation in chunks, so a run that
+	// peaks at N simultaneous events costs ~N/chunk heap allocations
+	// instead of N before the free list takes over.
+	slab arena.Slab[Event]
 	// processed counts events executed, for progress reporting and the
 	// runaway guard in tests.
 	processed uint64
@@ -180,8 +186,11 @@ type Engine struct {
 // seeded from one shared backing array so steady-state scheduling never
 // allocates as the cursor reaches previously-unvisited buckets; a bucket
 // that outgrows its seed (incast pile-up) reallocates once and keeps the
-// larger capacity for the rest of the run.
-const bucketSeedCap = 4
+// larger capacity for the rest of the run. 64 covers the k=8 cell's
+// dense phases (the busiest buckets reach the 30-60 event range during
+// synchronized incast rounds), so regrowth is confined to genuine
+// pile-ups; the shared backing is 512 KB, paid once per engine.
+const bucketSeedCap = 64
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
 func NewEngine() *Engine {
@@ -303,7 +312,7 @@ func (e *Engine) compactOverflow() {
 	}
 }
 
-// alloc pops a recycled Event or allocates a fresh one.
+// alloc pops a recycled Event or carves a fresh one from the slab.
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -312,7 +321,7 @@ func (e *Engine) alloc() *Event {
 		e.recycled++
 		return ev
 	}
-	return &Event{}
+	return e.slab.Get()
 }
 
 // recycle retires a fired event to the free-list. Bumping the generation
@@ -437,23 +446,35 @@ func (e *Engine) Cancel(h Handle) {
 	}
 	ev := h.ev
 	e.pending--
-	var cont *[]*Event
-	if ev.slot >= 0 {
-		cont = &e.buckets[ev.slot]
-	} else {
-		cont = &e.overflow
-	}
-	s := *cont
-	if n := len(s) - 1; s[n] == ev {
-		s[n] = nil
-		*cont = s[:n]
-		if ev.slot >= 0 {
+	// Branch on the container once and operate on its slice directly: the
+	// ring and overflow arms each load, test and truncate their own slice
+	// header, so the common tail-cancel path runs with no pointer
+	// indirection through a shared *[]*Event.
+	if b := ev.slot; b >= 0 {
+		s := e.buckets[b]
+		if n := len(s) - 1; s[n] == ev {
+			s[n] = nil
+			e.buckets[b] = s[:n]
 			e.ringEntries--
 			if n == 0 {
-				b := ev.slot
 				e.occupied[b>>6] &^= 1 << (uint(b) & 63)
 			}
+			e.recycle(ev)
+			return
 		}
+		// Interior ring corpse: the cursor sweeps every bucket within one
+		// horizon, so no counter is needed.
+		ev.canceled = true
+		ev.gen++ // invalidate all outstanding handles now
+		ev.fn = nil
+		ev.target = nil
+		ev.arg = nil
+		return
+	}
+	s := e.overflow
+	if n := len(s) - 1; s[n] == ev {
+		s[n] = nil
+		e.overflow = s[:n]
 		e.recycle(ev)
 		return
 	}
@@ -462,14 +483,12 @@ func (e *Engine) Cancel(h Handle) {
 	ev.fn = nil
 	ev.target = nil
 	ev.arg = nil
-	if ev.slot == overflowSlot {
-		e.canceledOverflow++
-		// Compact when cancelled corpses outnumber live events and are
-		// worth the O(n) sweep; keeps RTO-churn heaps from growing without
-		// bound while their deadlines sit beyond the horizon.
-		if e.canceledOverflow > 64 && e.canceledOverflow > len(e.overflow)-e.canceledOverflow {
-			e.compactOverflow()
-		}
+	e.canceledOverflow++
+	// Compact when cancelled corpses outnumber live events and are
+	// worth the O(n) sweep; keeps RTO-churn heaps from growing without
+	// bound while their deadlines sit beyond the horizon.
+	if e.canceledOverflow > 64 && e.canceledOverflow > len(e.overflow)-e.canceledOverflow {
+		e.compactOverflow()
 	}
 }
 

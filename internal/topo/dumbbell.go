@@ -62,9 +62,9 @@ func NewDumbbell(eng *sim.Engine, cfg DumbbellConfig) *Dumbbell {
 	d.Right = n.NewSwitch("right", LayerEdge)
 
 	d.Forward = n.AddLink("left->right", cfg.BottleneckCapacity, cfg.HopDelay,
-		cfg.BottleneckQueue(), d.Right, LayerBottleneck)
+		cfg.BottleneckQueue(n.Build), d.Right, LayerBottleneck)
 	d.Reverse = n.AddLink("right->left", cfg.BottleneckCapacity, cfg.HopDelay,
-		cfg.BottleneckQueue(), d.Left, LayerBottleneck)
+		cfg.BottleneckQueue(n.Build), d.Left, LayerBottleneck)
 
 	for i := 0; i < cfg.Pairs; i++ {
 		s := n.NewHost(fmt.Sprintf("s%d", i+1))

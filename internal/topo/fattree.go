@@ -150,9 +150,9 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 		for e := 0; e < half; e++ {
 			for x := 0; x < half; x++ {
 				edgeUp[p][e][x] = n.AddLink(fmt.Sprintf("edge%d.%d->agg%d.%d", p, e, p, x),
-					cfg.LinkCapacity, cfg.AggDelay, cfg.SwitchQueue(), ft.Agg[p][x], LayerAggregation)
+					cfg.LinkCapacity, cfg.AggDelay, cfg.SwitchQueue(n.Build), ft.Agg[p][x], LayerAggregation)
 				aggDown[p][x][e] = n.AddLink(fmt.Sprintf("agg%d.%d->edge%d.%d", p, x, p, e),
-					cfg.LinkCapacity, cfg.AggDelay, cfg.SwitchQueue(), ft.Edge[p][e], LayerAggregation)
+					cfg.LinkCapacity, cfg.AggDelay, cfg.SwitchQueue(n.Build), ft.Edge[p][e], LayerAggregation)
 			}
 		}
 	}
@@ -172,9 +172,9 @@ func NewFatTree(eng *sim.Engine, cfg FatTreeConfig) *FatTree {
 			aggUp[p][x] = make([]*netem.Link, half)
 			for j := 0; j < half; j++ {
 				aggUp[p][x][j] = n.AddLink(fmt.Sprintf("agg%d.%d->core%d.%d", p, x, x, j),
-					cfg.LinkCapacity, cfg.CoreDelay, cfg.SwitchQueue(), ft.Core[x][j], LayerCore)
+					cfg.LinkCapacity, cfg.CoreDelay, cfg.SwitchQueue(n.Build), ft.Core[x][j], LayerCore)
 				coreDown[x][j][p] = n.AddLink(fmt.Sprintf("core%d.%d->agg%d.%d", x, j, p, x),
-					cfg.LinkCapacity, cfg.CoreDelay, cfg.SwitchQueue(), ft.Agg[p][x], LayerCore)
+					cfg.LinkCapacity, cfg.CoreDelay, cfg.SwitchQueue(n.Build), ft.Agg[p][x], LayerCore)
 			}
 		}
 	}

@@ -20,28 +20,31 @@ const (
 	LayerBottleneck  = "bottleneck" // the constrained links in small topologies
 )
 
-// QueueMaker builds a fresh queue discipline for each link egress.
-type QueueMaker func() netem.Queue
+// QueueMaker builds a fresh queue discipline for each link egress. The
+// build arena (nil-safe; see netem.BuildArena) lets the standard makers
+// batch queue allocations with the rest of topology construction; makers
+// that don't care may ignore it.
+type QueueMaker func(ba *netem.BuildArena) netem.Queue
 
 // DropTailMaker returns a QueueMaker producing drop-tail queues of the
 // given limit.
 func DropTailMaker(limit int) QueueMaker {
-	return func() netem.Queue { return netem.NewDropTail(limit) }
+	return func(ba *netem.BuildArena) netem.Queue { return ba.NewDropTail(limit) }
 }
 
 // ECNMaker returns a QueueMaker producing instantaneous-threshold marking
 // queues (limit packets, marking threshold k). Non-ECT packets use the
 // whole buffer (tail drop only).
 func ECNMaker(limit, k int) QueueMaker {
-	return func() netem.Queue { return netem.NewThresholdECN(limit, k) }
+	return func(ba *netem.BuildArena) netem.Queue { return ba.NewThresholdECN(limit, k) }
 }
 
 // ECNStrictMaker is ECNMaker with RED-faithful non-ECT handling: non-ECT
 // packets are dropped above k, as a RED/ECN switch with MinTh=MaxTh=K
 // does.
 func ECNStrictMaker(limit, k int) QueueMaker {
-	return func() netem.Queue {
-		q := netem.NewThresholdECN(limit, k)
+	return func(ba *netem.BuildArena) netem.Queue {
+		q := ba.NewThresholdECN(limit, k)
 		q.DropNonECT = true
 		return q
 	}
@@ -70,6 +73,13 @@ type Network struct {
 	// topology, so parallel experiment runs (one network each) need no
 	// locking.
 	Pool *netem.PacketPool
+	// Paths arena-allocates resolved forwarding paths for all hosts of
+	// this network (see netem.PathStore).
+	Paths *netem.PathStore
+	// Build batches the construction-time allocations — device structs and
+	// queue rings — of everything created through this network (see
+	// netem.BuildArena).
+	Build *netem.BuildArena
 
 	addrHost map[netem.Addr]*netem.Host
 	nextAddr netem.Addr
@@ -82,6 +92,8 @@ func NewNetwork(eng *sim.Engine) *Network {
 	return &Network{
 		Eng:      eng,
 		Pool:     netem.NewPacketPool(),
+		Paths:    &netem.PathStore{},
+		Build:    &netem.BuildArena{},
 		addrHost: make(map[netem.Addr]*netem.Host),
 		nextAddr: 1, // 0 is reserved as "unset"
 		nextConn: 1,
@@ -92,8 +104,9 @@ func NewNetwork(eng *sim.Engine) *Network {
 // shares the network-wide packet pool.
 func (n *Network) NewHost(name string) *netem.Host {
 	n.nextNode++
-	h := netem.NewHost(n.Eng, n.nextNode, name)
+	h := n.Build.NewHost(n.Eng, n.nextNode, name)
 	h.SetPacketPool(n.Pool)
+	h.SetPathStore(n.Paths)
 	n.Hosts = append(n.Hosts, h)
 	n.AddAddr(h)
 	return h
@@ -102,7 +115,7 @@ func (n *Network) NewHost(name string) *netem.Host {
 // NewSwitch creates and registers a switch tagged with a layer.
 func (n *Network) NewSwitch(name, layer string) *netem.Switch {
 	n.nextNode++
-	s := netem.NewSwitch(n.nextNode, name, layer)
+	s := n.Build.NewSwitch(n.nextNode, name, layer)
 	n.Switches = append(n.Switches, s)
 	return s
 }
@@ -113,6 +126,7 @@ func (n *Network) AddAddr(h *netem.Host) netem.Addr {
 	n.nextAddr++
 	h.AddAddr(a)
 	n.addrHost[a] = h
+	n.Paths.GrowAddrSpace(a)
 	return a
 }
 
@@ -138,7 +152,7 @@ func (n *Network) NextConnID() netem.ConnID {
 // AddLink builds a link, registers it under the given layer label and
 // returns it.
 func (n *Network) AddLink(name string, capacity netem.Bps, delay sim.Duration, q netem.Queue, dst netem.Receiver, layer string) *netem.Link {
-	l := netem.NewLink(n.Eng, name, capacity, delay, q, dst)
+	l := n.Build.NewLink(n.Eng, name, capacity, delay, q, dst)
 	n.links = append(n.links, LinkInfo{Link: l, Layer: layer})
 	return l
 }
@@ -151,9 +165,9 @@ func (n *Network) AddLink(name string, capacity netem.Bps, delay sim.Duration, q
 // sender on an end-to-end equal-speed path would never see congestion
 // feedback until its self-inflicted NIC backlog overflows.
 func (n *Network) AttachHost(h *netem.Host, sw *netem.Switch, capacity netem.Bps, delay sim.Duration, qm QueueMaker, layer string) {
-	nic := n.AddLink(h.Name+"->"+sw.Name, capacity, delay, qm(), sw, layer)
+	nic := n.AddLink(h.Name+"->"+sw.Name, capacity, delay, qm(n.Build), sw, layer)
 	h.AttachNIC(nic)
-	down := n.AddLink(sw.Name+"->"+h.Name, capacity, delay, qm(), h, layer)
+	down := n.AddLink(sw.Name+"->"+h.Name, capacity, delay, qm(n.Build), h, layer)
 	for _, a := range h.Addrs() {
 		sw.AddRoute(a, down)
 	}

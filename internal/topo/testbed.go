@@ -77,9 +77,9 @@ func NewTestbedA(eng *sim.Engine, cfg TestbedAConfig) *TestbedA {
 		outToDN[p] = n.AddLink(fmt.Sprintf("out->dn%d", p+1), cfg.EdgeCapacity, cfg.HopDelay,
 			netem.NewDropTail(DefaultHostQueue), dn[p], LayerEdge)
 		tb.DNFwd[p] = n.AddLink(fmt.Sprintf("dn%d->out", p+1), cfg.BottleneckCapacity, cfg.HopDelay,
-			cfg.BottleneckQueue(), out, LayerBottleneck)
+			cfg.BottleneckQueue(n.Build), out, LayerBottleneck)
 		tb.DNRev[p] = n.AddLink(fmt.Sprintf("dn%d->in", p+1), cfg.BottleneckCapacity, cfg.HopDelay,
-			cfg.BottleneckQueue(), in, LayerBottleneck)
+			cfg.BottleneckQueue(n.Build), in, LayerBottleneck)
 	}
 
 	var senders, receivers []*netem.Host
@@ -161,8 +161,8 @@ func NewTestbedB(eng *sim.Engine, cfg TestbedBConfig) *TestbedB {
 	tb := &TestbedB{Network: n}
 	in := n.NewSwitch("in", LayerEdge)
 	out := n.NewSwitch("out", LayerEdge)
-	tb.Fwd = n.AddLink("in->out", cfg.BottleneckCapacity, cfg.HopDelay, cfg.BottleneckQueue(), out, LayerBottleneck)
-	tb.Rev = n.AddLink("out->in", cfg.BottleneckCapacity, cfg.HopDelay, cfg.BottleneckQueue(), in, LayerBottleneck)
+	tb.Fwd = n.AddLink("in->out", cfg.BottleneckCapacity, cfg.HopDelay, cfg.BottleneckQueue(n.Build), out, LayerBottleneck)
+	tb.Rev = n.AddLink("out->in", cfg.BottleneckCapacity, cfg.HopDelay, cfg.BottleneckQueue(n.Build), in, LayerBottleneck)
 	for i := 0; i < 4; i++ {
 		tb.S[i] = n.NewHost(fmt.Sprintf("s%d", i+1))
 		tb.D[i] = n.NewHost(fmt.Sprintf("d%d", i+1))

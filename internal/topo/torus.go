@@ -87,9 +87,9 @@ func NewTorus(eng *sim.Engine, cfg TorusConfig) *Torus {
 		up[i] = n.NewSwitch(fmt.Sprintf("u%d", i+1), LayerBottleneck)
 		down[i] = n.NewSwitch(fmt.Sprintf("w%d", i+1), LayerBottleneck)
 		fwd := n.AddLink(fmt.Sprintf("L%d", i+1), cfg.Capacities[i], cfg.HopDelay,
-			cfg.BottleneckQueue(), down[i], LayerBottleneck)
+			cfg.BottleneckQueue(n.Build), down[i], LayerBottleneck)
 		rev := n.AddLink(fmt.Sprintf("L%d-rev", i+1), cfg.Capacities[i], cfg.HopDelay,
-			cfg.BottleneckQueue(), up[i], LayerBottleneck)
+			cfg.BottleneckQueue(n.Build), up[i], LayerBottleneck)
 		tr.Bottlenecks = append(tr.Bottlenecks, Bottleneck{Fwd: fwd, Rev: rev, Capacity: cfg.Capacities[i]})
 	}
 
@@ -110,10 +110,10 @@ func NewTorus(eng *sim.Engine, cfg TorusConfig) *Torus {
 
 		// Forward feeders and reverse feeders per path.
 		for p, b := range []int{i, j} {
-			sToU := n.AddLink(fmt.Sprintf("ssw%d->u%d", i+1, b+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), up[b], LayerEdge)
-			wToD := n.AddLink(fmt.Sprintf("w%d->dsw%d", b+1, i+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), dsw, LayerEdge)
-			dToW := n.AddLink(fmt.Sprintf("dsw%d->w%d", i+1, b+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), down[b], LayerEdge)
-			uToS := n.AddLink(fmt.Sprintf("u%d->ssw%d", b+1, i+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), ssw, LayerEdge)
+			sToU := n.AddLink(fmt.Sprintf("ssw%d->u%d", i+1, b+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), up[b], LayerEdge)
+			wToD := n.AddLink(fmt.Sprintf("w%d->dsw%d", b+1, i+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), dsw, LayerEdge)
+			dToW := n.AddLink(fmt.Sprintf("dsw%d->w%d", i+1, b+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), down[b], LayerEdge)
+			uToS := n.AddLink(fmt.Sprintf("u%d->ssw%d", b+1, i+1), cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), ssw, LayerEdge)
 
 			// Forward: ssw routes d's alias p into bottleneck b; W[b]
 			// routes it out toward dsw.
@@ -134,10 +134,10 @@ func NewTorus(eng *sim.Engine, cfg TorusConfig) *Torus {
 	if cfg.Background > 0 {
 		bin := n.NewSwitch("bg-in", LayerEdge)
 		bout := n.NewSwitch("bg-out", LayerEdge)
-		binToU := n.AddLink("bg-in->u", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), up[b], LayerEdge)
-		wToBout := n.AddLink("w->bg-out", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), bout, LayerEdge)
-		boutToW := n.AddLink("bg-out->w", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), down[b], LayerEdge)
-		uToBin := n.AddLink("u->bg-in", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(), bin, LayerEdge)
+		binToU := n.AddLink("bg-in->u", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), up[b], LayerEdge)
+		wToBout := n.AddLink("w->bg-out", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), bout, LayerEdge)
+		boutToW := n.AddLink("bg-out->w", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), down[b], LayerEdge)
+		uToBin := n.AddLink("u->bg-in", cfg.EdgeCapacity, cfg.HopDelay, edgeQ(n.Build), bin, LayerEdge)
 		for k := 0; k < cfg.Background; k++ {
 			src := n.NewHost(fmt.Sprintf("bg-s%d", k+1))
 			dst := n.NewHost(fmt.Sprintf("bg-d%d", k+1))

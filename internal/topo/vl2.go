@@ -108,9 +108,9 @@ func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
 		aggUp[a] = make([]*netem.Link, cfg.NumIntermediate)
 		for i := 0; i < cfg.NumIntermediate; i++ {
 			aggUp[a][i] = n.AddLink(fmt.Sprintf("agg%d->int%d", a, i),
-				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.Intermediate[i], LayerCore)
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(n.Build), v.Intermediate[i], LayerCore)
 			intDown[i][a] = n.AddLink(fmt.Sprintf("int%d->agg%d", i, a),
-				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.Agg[a], LayerCore)
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(n.Build), v.Agg[a], LayerCore)
 		}
 	}
 
@@ -125,9 +125,9 @@ func NewVL2(eng *sim.Engine, cfg VL2Config) *VL2 {
 		for side := 0; side < 2; side++ {
 			a := torAgg(t, side)
 			torUp[t][side] = n.AddLink(fmt.Sprintf("tor%d->agg%d", t, a),
-				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.Agg[a], LayerAggregation)
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(n.Build), v.Agg[a], LayerAggregation)
 			aggDown[a][t] = n.AddLink(fmt.Sprintf("agg%d->tor%d", a, t),
-				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(), v.ToR[t], LayerAggregation)
+				cfg.FabricCapacity, cfg.FabricDelay, cfg.SwitchQueue(n.Build), v.ToR[t], LayerAggregation)
 		}
 	}
 

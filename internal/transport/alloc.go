@@ -1,0 +1,28 @@
+package transport
+
+import (
+	"xmp/internal/arena"
+
+	"xmp/internal/sim"
+)
+
+// ConnAllocator slab-allocates connections (see arena.Slab) for callers
+// that build flows in bulk — the mptcp flow arena holds one so a campaign's
+// fresh-flow wave carves its Conn structs out of chunks instead of
+// allocating them one by one. Connections live until the owning simulation
+// ends (recycled through Rebind, never freed), which is the slab regime.
+//
+// A nil *ConnAllocator falls back to plain NewConn.
+type ConnAllocator struct {
+	slab arena.Slab[Conn]
+}
+
+// NewConn is the allocator-backed NewConn.
+func (a *ConnAllocator) NewConn(eng *sim.Engine, opts Options) *Conn {
+	if a == nil {
+		return NewConn(eng, opts)
+	}
+	c := a.slab.Get()
+	initConn(c, eng, opts)
+	return c
+}

@@ -96,6 +96,18 @@ type Conn struct {
 	srcSlot, dstSlot int32
 	fwdPath, revPath *netem.Path
 
+	// inflight counts packets of this connection currently inside the
+	// network: every send stamps p.Owner at it, and the network decrements
+	// it at the packet's exit point (host delivery or drop). The flow arena
+	// recycles a finished connection only once this reaches zero, so a slot
+	// or ID reuse can never receive a stale packet.
+	inflight int32
+
+	// sender and receiver are the pre-boxed demux endpoints, so Register
+	// never allocates an interface box per registration.
+	sender   senderHalf
+	receiver receiverHalf
+
 	onComplete  func(*Conn)
 	onProgress  func(sim.Time, int)
 	onRTTSample func(sim.Duration)
@@ -109,7 +121,13 @@ type Conn struct {
 	sndUna, sndNxt int64
 	suppliedEnd    int64
 	exhausted      bool
-	shortSegs      map[int64]int
+	// Short (sub-MSS) segment lengths by sequence number. At most one is
+	// normally outstanding — the supply returns MSS until the final
+	// partial segment — so a single inline entry covers the common case
+	// and the overflow map stays nil for the life of most connections.
+	shortSeq  int64 // -1 = none
+	shortLen  int
+	shortSegs map[int64]int
 	dupAcks        int
 	inRecovery     bool
 	recoverSeq     int64
@@ -137,18 +155,37 @@ type Conn struct {
 }
 
 // senderHalf and receiverHalf adapt the two ends of a Conn to the host
-// demultiplexer.
+// demultiplexer. They live inside the Conn and register by pointer, so the
+// interface boxing happens once per Conn object, not per registration.
 type senderHalf struct{ c *Conn }
 
-func (h senderHalf) Deliver(p *netem.Packet) { h.c.senderDeliver(p) }
+func (h *senderHalf) Deliver(p *netem.Packet) { h.c.senderDeliver(p) }
 
 type receiverHalf struct{ c *Conn }
 
-func (h receiverHalf) Deliver(p *netem.Packet) { h.c.receiverDeliver(p) }
+func (h *receiverHalf) Deliver(p *netem.Packet) { h.c.receiverDeliver(p) }
 
 // NewConn builds a connection and registers both halves with their hosts.
 // Call Start to begin the handshake.
 func NewConn(eng *sim.Engine, opts Options) *Conn {
+	c := &Conn{}
+	initConn(c, eng, opts)
+	return c
+}
+
+// initConn is the shared constructor body behind NewConn and ConnAllocator.
+func initConn(c *Conn, eng *sim.Engine, opts Options) {
+	c.eng = eng
+	c.shortSeq = -1
+	c.sender.c = c
+	c.receiver.c = c
+	c.bind(opts)
+}
+
+// bind validates opts, installs the per-transfer configuration, registers
+// both demux halves and resolves the forwarding paths. It is the shared
+// tail of NewConn and Rebind.
+func (c *Conn) bind(opts Options) {
 	if err := opts.Config.Validate(); err != nil {
 		panic(err)
 	}
@@ -164,49 +201,106 @@ func NewConn(eng *sim.Engine, opts Options) *Conn {
 	if opts.Src == opts.Dst {
 		panic("transport: loopback connections are not modelled")
 	}
-	c := &Conn{
-		id:          opts.ID,
-		eng:         eng,
-		cfg:         opts.Config,
-		ctrl:        opts.Controller,
-		src:         opts.Src,
-		dst:         opts.Dst,
-		srcAddr:     opts.SrcAddr,
-		dstAddr:     opts.DstAddr,
-		supply:      opts.Supply,
-		member:      opts.Member,
-		onComplete:  opts.OnComplete,
-		onProgress:  opts.OnProgress,
-		onRTTSample: opts.OnRTTSample,
-		shortSegs:   make(map[int64]int),
-		rtt:         newRTTEstimator(opts.Config),
-	}
+	c.id = opts.ID
+	c.cfg = opts.Config
+	c.ctrl = opts.Controller
+	c.src = opts.Src
+	c.dst = opts.Dst
+	c.srcAddr = opts.SrcAddr
+	c.dstAddr = opts.DstAddr
+	c.supply = opts.Supply
+	c.member = opts.Member
+	c.onComplete = opts.OnComplete
+	c.onProgress = opts.OnProgress
+	c.onRTTSample = opts.OnRTTSample
+	c.rtt = newRTTEstimator(opts.Config)
 	if c.srcAddr == 0 && len(opts.Src.Addrs()) > 0 {
 		c.srcAddr = opts.Src.PrimaryAddr()
 	}
 	if c.dstAddr == 0 && len(opts.Dst.Addrs()) > 0 {
 		c.dstAddr = opts.Dst.PrimaryAddr()
 	}
-	c.srcSlot = opts.Src.Register(c.id, senderHalf{c})
-	c.dstSlot = opts.Dst.Register(c.id, receiverHalf{c})
+	c.srcSlot = opts.Src.Register(c.id, &c.sender)
+	c.dstSlot = opts.Dst.Register(c.id, &c.receiver)
 	c.fwdPath = opts.Src.PathTo(c.dstAddr)
 	c.revPath = opts.Dst.PathTo(c.srcAddr)
-	return c
 }
 
-// sendFwd stamps the forward demux slot and resolved path and transmits
-// toward the receiver.
+// Detach unregisters both demux halves, severing the connection from its
+// hosts. Safe only once InFlight() is zero — from then on the network holds
+// no packet that could demux to this connection. The flow arena detaches a
+// quarantined connection right before recycling it; until then the Done
+// connection stays registered so stale duplicates still earn their re-ACKs.
+func (c *Conn) Detach() {
+	c.src.Unregister(c.id)
+	c.dst.Unregister(c.id)
+}
+
+// Rebind recycles a finished connection into a brand-new transfer described
+// by opts, in place: no allocation, same Conn object, fresh identity. The
+// caller must have reset or replaced the controller (cc.Controller.Reset)
+// and guarantees the old transfer is fully drained — the connection must be
+// Done or Failed with no packets in flight.
+func (c *Conn) Rebind(opts Options) {
+	if c.state != StateDone && c.state != StateFailed {
+		panic(fmt.Sprintf("transport: Rebind in state %v", c.state))
+	}
+	if c.inflight != 0 {
+		panic(fmt.Sprintf("transport: Rebind with %d packets in flight", c.inflight))
+	}
+	c.stopRTO()
+	c.stopDelAck()
+	c.Detach()
+
+	// Sender half back to zero.
+	c.sndUna, c.sndNxt, c.suppliedEnd = 0, 0, 0
+	c.exhausted = false
+	c.shortSeq, c.shortLen = -1, 0
+	clear(c.shortSegs)
+	c.dupAcks = 0
+	c.inRecovery = false
+	c.recoverSeq = 0
+	c.pendingCWR = false
+	c.retries = 0
+	c.stats = Stats{}
+	c.sacked.Clear()
+	c.holeCursor = 0
+
+	// Receiver half back to zero.
+	c.rcvNxt = 0
+	c.ooo.Clear()
+	c.pendingCE = 0
+	c.ceAccum = 0
+	c.eceLatched = false
+	c.delayCount = 0
+	c.lastTriggerTS = 0
+
+	c.state = StateIdle
+	c.startTime, c.establishAt, c.doneAt = 0, 0, 0
+	c.bind(opts)
+}
+
+// InFlight returns the number of this connection's packets currently inside
+// the network (sent but neither delivered nor dropped yet).
+func (c *Conn) InFlight() int { return int(c.inflight) }
+
+// sendFwd stamps the forward demux slot, resolved path and in-flight owner
+// and transmits toward the receiver.
 func (c *Conn) sendFwd(p *netem.Packet) {
 	p.Slot = c.dstSlot
 	p.SetPath(c.fwdPath)
+	p.Owner = &c.inflight
+	c.inflight++
 	c.src.Send(p)
 }
 
-// sendRev stamps the reverse demux slot and resolved path and transmits
-// toward the sender (ACKs and the SYN-ACK).
+// sendRev stamps the reverse demux slot, resolved path and in-flight owner
+// and transmits toward the sender (ACKs and the SYN-ACK).
 func (c *Conn) sendRev(p *netem.Packet) {
 	p.Slot = c.srcSlot
 	p.SetPath(c.revPath)
+	p.Owner = &c.inflight
+	c.inflight++
 	c.dst.Send(p)
 }
 
@@ -298,7 +392,11 @@ func (c *Conn) senderDeliver(p *netem.Packet) {
 		var newlyBytes int64
 		for s := c.sndUna; s < p.Ack; s++ {
 			newlyBytes += int64(c.payloadOf(s))
-			delete(c.shortSegs, s)
+			if s == c.shortSeq {
+				c.shortSeq = -1
+			} else {
+				delete(c.shortSegs, s)
+			}
 		}
 		c.sndUna = p.Ack
 		if c.sndNxt < c.sndUna {
@@ -450,6 +548,9 @@ func (c *Conn) sampleRTT(rtt sim.Duration) {
 
 // payloadOf returns the application bytes carried by segment seq.
 func (c *Conn) payloadOf(seq int64) int {
+	if seq == c.shortSeq {
+		return c.shortLen
+	}
 	if b, ok := c.shortSegs[seq]; ok {
 		return b
 	}
@@ -497,7 +598,14 @@ func (c *Conn) nextPayload() (int, bool) {
 		panic(fmt.Sprintf("transport: supply returned payload %d", payload))
 	}
 	if payload != netem.MSS {
-		c.shortSegs[c.suppliedEnd] = payload
+		if c.shortSeq < 0 || c.shortSeq == c.suppliedEnd {
+			c.shortSeq, c.shortLen = c.suppliedEnd, payload
+		} else {
+			if c.shortSegs == nil {
+				c.shortSegs = make(map[int64]int)
+			}
+			c.shortSegs[c.suppliedEnd] = payload
+		}
 	}
 	c.suppliedEnd++
 	return payload, true

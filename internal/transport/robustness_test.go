@@ -27,7 +27,7 @@ func TestExactDeliveryUnderRandomLoss(t *testing.T) {
 			BottleneckCapacity: netem.Gbps,
 			EdgeCapacity:       10 * netem.Gbps,
 			HopDelay:           31 * sim.Microsecond,
-			BottleneckQueue: func() netem.Queue {
+			BottleneckQueue: func(*netem.BuildArena) netem.Queue {
 				return netem.NewLossy(netem.NewDropTail(200), loss, rng.Fork(1))
 			},
 			EdgeQueue: topo.DropTailMaker(1000),
@@ -82,7 +82,7 @@ func TestExactDeliveryUnderLossAllControllers(t *testing.T) {
 				BottleneckCapacity: netem.Gbps,
 				EdgeCapacity:       10 * netem.Gbps,
 				HopDelay:           31 * sim.Microsecond,
-				BottleneckQueue: func() netem.Queue {
+				BottleneckQueue: func(*netem.BuildArena) netem.Queue {
 					return netem.NewLossy(netem.NewThresholdECN(200, 10), 0.05, rng.Fork(1))
 				},
 				EdgeQueue: topo.DropTailMaker(1000),

@@ -29,7 +29,7 @@ func runLossyTransfer(t *testing.T, sack bool, loss float64, size int64, seed in
 		BottleneckCapacity: netem.Gbps,
 		EdgeCapacity:       10 * netem.Gbps,
 		HopDelay:           31 * sim.Microsecond,
-		BottleneckQueue: func() netem.Queue {
+		BottleneckQueue: func(*netem.BuildArena) netem.Queue {
 			return netem.NewLossy(netem.NewDropTail(500), loss, rng.Fork(1))
 		},
 		EdgeQueue: topo.DropTailMaker(1000),

@@ -88,6 +88,28 @@ type Random struct {
 	cfg      RandomConfig
 	dstLoad  []int
 	Launched int
+	// srcs holds per-source launch state with a once-allocated completion
+	// callback each, so the closed-loop relaunch chain allocates nothing
+	// per launch (a fresh closure per flow was a measurable share of the
+	// launch path in short-flow campaigns).
+	srcs []randSrc
+}
+
+// randSrc is one source's closed-loop state: the destination of its
+// current flow and the pooled completion callback.
+type randSrc struct {
+	r      *Random
+	src    int
+	dst    int
+	onDone func(*mptcp.Flow)
+}
+
+func (s *randSrc) done() {
+	r := s.r
+	r.dstLoad[s.dst]--
+	if r.cfg.Net.Engine().Now() < r.cfg.Stop {
+		r.launchFrom(s.src)
+	}
 }
 
 // StartRandom launches one flow per host immediately.
@@ -99,6 +121,12 @@ func StartRandom(cfg RandomConfig) *Random {
 		cfg.MaxFlowsPerDst = 4
 	}
 	r := &Random{cfg: cfg, dstLoad: make([]int, cfg.Net.NumHosts())}
+	r.srcs = make([]randSrc, cfg.Net.NumHosts())
+	for i := range r.srcs {
+		s := &r.srcs[i]
+		s.r, s.src = r, i
+		s.onDone = func(*mptcp.Flow) { s.done() }
+	}
 	hosts := cfg.Hosts
 	if hosts == nil {
 		hosts = make([]int, cfg.Net.NumHosts())
@@ -138,12 +166,9 @@ func (r *Random) launchFrom(src int) {
 	}
 	r.dstLoad[dst]++
 	r.Launched++
-	LaunchFlow(&r.cfg.Config, src, dst, size, func(*mptcp.Flow) {
-		r.dstLoad[dst]--
-		if r.cfg.Net.Engine().Now() < r.cfg.Stop {
-			r.launchFrom(src)
-		}
-	})
+	s := &r.srcs[src]
+	s.dst = dst
+	LaunchFlow(&r.cfg.Config, src, dst, size, s.onDone)
 }
 
 // IncastConfig parameterizes the Incast pattern: Jobs concurrent jobs,
@@ -233,5 +258,190 @@ func (inc *Incast) job() {
 				finishOne()
 			})
 		})
+	}
+}
+
+// ShortFlowsConfig parameterizes the ShortFlows pattern — the
+// million-short-flow regime of the FCT campaigns. Every host keeps PerHost
+// closed loops of latency-sensitive plain-TCP flows alive: the moment one
+// flow completes, its loop samples a fresh bounded-Pareto size (shape
+// Alpha, mean MeanBytes, bounds [MinBytes, MaxBytes] — the knobs that
+// distinguish a web-search tail from a data-mining one) and launches to a
+// fresh uniform-random destination. Completion times land in
+// Collector.FCT, whose p50/p95/p99/p999 the FCT campaign reports.
+type ShortFlowsConfig struct {
+	Config
+	Alpha              float64 // Pareto shape (default 1.1)
+	MeanBytes          int64
+	MinBytes, MaxBytes int64 // bounds (MinBytes defaults to 1)
+	// PerHost is the number of concurrent closed loops per host (default 1).
+	PerHost int
+	// MaxLaunches, when nonzero, caps total launches in addition to Stop.
+	MaxLaunches int
+}
+
+// ShortFlows is a running short-flow generator.
+type ShortFlows struct {
+	cfg       ShortFlowsConfig
+	Launched  int
+	Completed int
+	// loops holds per-loop launch state with a once-allocated completion
+	// callback each (the randSrc idiom): with the arena recycling the flow
+	// graph, steady-state short-flow launch allocates nothing.
+	loops []shortLoop
+}
+
+// shortLoop is one closed loop's state and pooled callback.
+type shortLoop struct {
+	sf     *ShortFlows
+	src    int
+	onDone func(*mptcp.Flow)
+}
+
+func (l *shortLoop) done() {
+	sf := l.sf
+	sf.Completed++
+	cfg := &sf.cfg
+	if cfg.Net.Engine().Now() < cfg.Stop &&
+		(cfg.MaxLaunches == 0 || sf.Launched < cfg.MaxLaunches) {
+		sf.launch(l)
+	}
+}
+
+// StartShortFlows launches PerHost flows per host immediately.
+func StartShortFlows(cfg ShortFlowsConfig) *ShortFlows {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1.1
+	}
+	if cfg.MinBytes == 0 {
+		cfg.MinBytes = 1
+	}
+	if cfg.PerHost == 0 {
+		cfg.PerHost = 1
+	}
+	if cfg.MeanBytes <= 0 || cfg.MaxBytes < cfg.MeanBytes || cfg.Alpha <= 1 {
+		panic("workload: bad short-flow size parameters")
+	}
+	sf := &ShortFlows{cfg: cfg}
+	n := cfg.Net.NumHosts()
+	sf.loops = make([]shortLoop, n*cfg.PerHost)
+	for i := range sf.loops {
+		l := &sf.loops[i]
+		l.sf, l.src = sf, i%n
+		l.onDone = func(*mptcp.Flow) { l.done() }
+	}
+	for i := range sf.loops {
+		if cfg.MaxLaunches > 0 && sf.Launched >= cfg.MaxLaunches {
+			break
+		}
+		sf.launch(&sf.loops[i])
+	}
+	return sf
+}
+
+func (sf *ShortFlows) launch(l *shortLoop) {
+	cfg := &sf.cfg
+	n := cfg.Net.NumHosts()
+	// Uniform over hosts != src.
+	dst := cfg.RNG.Intn(n - 1)
+	if dst >= l.src {
+		dst++
+	}
+	size := int64(cfg.RNG.Pareto(cfg.Alpha, float64(cfg.MeanBytes), float64(cfg.MinBytes), float64(cfg.MaxBytes)))
+	if size < 1 {
+		size = 1
+	}
+	sf.Launched++
+	launchSmallTCP(&cfg.Config, l.src, dst, size, l.onDone)
+}
+
+// IncastBurstConfig parameterizes the IncastBurst pattern: Senders
+// concurrent plain-TCP senders, spread round-robin over every host except
+// the client, all transmit ResponseBytes to the single client at once —
+// the barrier-synchronized fan-in of a partition/aggregate job. With
+// Senders far above the host count the pattern models many worker
+// processes per machine, which is how a k=8 fabric of 128 hosts mounts a
+// 10,000-sender burst. Per-flow completion times land in Collector.FCT;
+// each full round's completion lands in Collector.JCT.
+type IncastBurstConfig struct {
+	Config
+	Senders       int
+	ResponseBytes int64
+	// Client receives the burst (default host 0).
+	Client int
+	// Rounds of bursts to run back-to-back (default 1); a new round starts
+	// only when the previous one fully completes and Now < Stop.
+	Rounds int
+}
+
+// IncastBurst is a running burst generator.
+type IncastBurst struct {
+	cfg        IncastBurstConfig
+	Launched   int
+	RoundsRun  int
+	pending    int
+	roundStart sim.Time
+	// senders holds the pooled per-sender completion callbacks.
+	senders []burstSender
+}
+
+// burstSender is one sender slot's source host and pooled callback.
+type burstSender struct {
+	b      *IncastBurst
+	src    int
+	onDone func(*mptcp.Flow)
+}
+
+func (s *burstSender) done() {
+	b := s.b
+	b.pending--
+	if b.pending > 0 {
+		return
+	}
+	cfg := &b.cfg
+	if cfg.Collector != nil {
+		cfg.Collector.JCT.AddDuration(cfg.Net.Engine().Now().Sub(b.roundStart))
+	}
+	if b.RoundsRun < cfg.Rounds && cfg.Net.Engine().Now() < cfg.Stop {
+		b.round()
+	}
+}
+
+// StartIncastBurst launches the first round immediately.
+func StartIncastBurst(cfg IncastBurstConfig) *IncastBurst {
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 1
+	}
+	n := cfg.Net.NumHosts()
+	if cfg.Senders < 1 || cfg.ResponseBytes < 1 {
+		panic("workload: bad incast-burst parameters")
+	}
+	if cfg.Client < 0 || cfg.Client >= n {
+		panic("workload: incast-burst client outside the host range")
+	}
+	b := &IncastBurst{cfg: cfg}
+	b.senders = make([]burstSender, cfg.Senders)
+	for i := range b.senders {
+		s := &b.senders[i]
+		src := i % (n - 1)
+		if src >= cfg.Client {
+			src++
+		}
+		s.b, s.src = b, src
+		s.onDone = func(*mptcp.Flow) { s.done() }
+	}
+	b.round()
+	return b
+}
+
+func (b *IncastBurst) round() {
+	cfg := &b.cfg
+	b.RoundsRun++
+	b.roundStart = cfg.Net.Engine().Now()
+	b.pending = len(b.senders)
+	for i := range b.senders {
+		s := &b.senders[i]
+		b.Launched++
+		launchSmallTCP(&cfg.Config, s.src, cfg.Client, cfg.ResponseBytes, s.onDone)
 	}
 }

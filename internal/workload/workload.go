@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"xmp/internal/metrics"
+	"xmp/internal/netem"
 	"xmp/internal/mptcp"
 	"xmp/internal/sim"
 	"xmp/internal/topo"
@@ -42,6 +43,10 @@ type Collector struct {
 	RTT map[topo.Category]*metrics.Dist
 	// JCT is the Incast job completion time in milliseconds.
 	JCT *metrics.Dist
+	// FCT records every flow's completion time in milliseconds — large and
+	// small flows alike. The short-flow campaigns report its p50/p95/p99/
+	// p999 tail; the goodput tables ignore it.
+	FCT *metrics.Dist
 
 	// FlowsCompleted counts finished large flows; BytesMoved their bytes.
 	FlowsCompleted int
@@ -64,6 +69,7 @@ func NewCollector(rttStride int) *Collector {
 		GoodputByCat: make(map[topo.Category]*metrics.Dist),
 		RTT:          make(map[topo.Category]*metrics.Dist),
 		JCT:          &metrics.Dist{},
+		FCT:          &metrics.Dist{},
 		RTTStride:    rttStride,
 	}
 	for _, cat := range []topo.Category{topo.InnerRack, topo.InterRack, topo.InterPod} {
@@ -79,6 +85,10 @@ func (c *Collector) recordFlow(f *mptcp.Flow, cat topo.Category, now sim.Time) {
 	c.GoodputByCat[cat].Add(mbps)
 	c.FlowsCompleted++
 	c.BytesMoved += f.AckedBytes()
+}
+
+func (c *Collector) recordFCT(f *mptcp.Flow) {
+	c.FCT.AddDuration(f.CompletionTime().Sub(f.StartTime()))
 }
 
 func (c *Collector) recordRTT(cat topo.Category, rtt sim.Duration) {
@@ -108,6 +118,103 @@ type Config struct {
 	// thousands of flows whose names are never read, and formatting them
 	// eagerly was a measurable share of launch-path allocations.
 	TraceNames bool
+	// Arena recycles the entire flow graph — Flow, connections,
+	// controllers, closures — across launches (see mptcp.Arena): completed
+	// flows are released back automatically after their callbacks run, and
+	// steady-state launches allocate nothing. Leave nil when the caller
+	// retains *Flow pointers past completion (or hold mptcp.FlowHandles,
+	// which panic on stale access instead of reading a recycled flow).
+	Arena *mptcp.Arena
+
+	// Pooled launch plumbing (see launchRec): reused per-launch records and
+	// the subflow-spec scratch buffer, so steady-state launches do not
+	// allocate callback closures or spec slices.
+	recFree     []*launchRec
+	specScratch []mptcp.SubflowSpec
+	// nextID caches the Net.NextConnID method value: binding it per launch
+	// would allocate a closure every time.
+	nextID func() netem.ConnID
+}
+
+// nextConnID returns the cached ID-allocator method value.
+func (cfg *Config) nextConnID() func() netem.ConnID {
+	if cfg.nextID == nil {
+		cfg.nextID = cfg.Net.NextConnID
+	}
+	return cfg.nextID
+}
+
+// launchRec carries one launch's variable context (category, completion
+// callback) behind callbacks that are allocated once and reused: the
+// mptcp.Options closures capture the record, the record's mutable fields
+// change per launch, and completed records return to Config.recFree.
+type launchRec struct {
+	cfg           *Config
+	cat           topo.Category
+	onDone        func(*mptcp.Flow)
+	recordGoodput bool
+
+	onComplete func(*mptcp.Flow)
+	onRTT      func(int, sim.Duration)
+}
+
+// getRec pops a free launch record or builds one with its closures.
+func (cfg *Config) getRec() *launchRec {
+	if n := len(cfg.recFree); n > 0 {
+		r := cfg.recFree[n-1]
+		cfg.recFree[n-1] = nil
+		cfg.recFree = cfg.recFree[:n-1]
+		return r
+	}
+	r := &launchRec{cfg: cfg}
+	r.onComplete = func(f *mptcp.Flow) { r.complete(f) }
+	r.onRTT = func(_ int, rtt sim.Duration) {
+		if c := r.cfg.Collector; c != nil {
+			c.recordRTT(r.cat, rtt)
+		}
+	}
+	return r
+}
+
+func (r *launchRec) complete(f *mptcp.Flow) {
+	cfg := r.cfg
+	if col := cfg.Collector; col != nil {
+		col.recordFCT(f)
+		if r.recordGoodput {
+			col.recordFlow(f, r.cat, cfg.Net.Engine().Now())
+		}
+	}
+	onDone := r.onDone
+	// Recycle the record before user code runs: the completion callback
+	// typically launches the next flow, which then reuses it immediately.
+	r.onDone = nil
+	cfg.recFree = append(cfg.recFree, r)
+	if onDone != nil {
+		onDone(f)
+	}
+	// Release last: callbacks may still read the flow's stats; after this
+	// the flow belongs to the arena again.
+	if cfg.Arena != nil {
+		cfg.Arena.Release(f)
+	}
+}
+
+// specs returns the reusable subflow-spec buffer sized to n. Safe because
+// mptcp.New and Flow rebinds copy the spec values out and never retain the
+// slice.
+func (cfg *Config) specs(n int) []mptcp.SubflowSpec {
+	if cap(cfg.specScratch) < n {
+		cfg.specScratch = make([]mptcp.SubflowSpec, n)
+	}
+	return cfg.specScratch[:n]
+}
+
+// newFlow builds the flow through the arena when one is configured.
+func (cfg *Config) newFlow(opts mptcp.Options) *mptcp.Flow {
+	if cfg.Arena != nil {
+		return cfg.Arena.NewFlow(cfg.Net.Engine(), opts)
+	}
+	return mptcp.New(cfg.Net.Engine(), opts)
 }
 
 // LaunchFlow starts one large flow of the configured scheme from host
@@ -115,14 +222,12 @@ type Config struct {
 // onDone (may be nil) runs after recording.
 func LaunchFlow(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)) *mptcp.Flow {
 	net := cfg.Net
-	cat := net.Categorize(src, dst)
-	srcH, dstH := net.Host(src), net.Host(dst)
 
 	nsub := cfg.Scheme.Subflows
 	if !cfg.Scheme.Algorithm.Multipath() || nsub < 1 {
 		nsub = 1
 	}
-	specs := make([]mptcp.SubflowSpec, nsub)
+	specs := cfg.specs(nsub)
 	for i := range specs {
 		specs[i] = mptcp.SubflowSpec{
 			SrcAddr: net.AliasOf(src, i),
@@ -134,32 +239,23 @@ func LaunchFlow(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)
 		scheme := cfg.Scheme
 		nameFn = func() string { return fmt.Sprintf("%s:%d->%d", scheme.Label(), src, dst) }
 	}
-	col := cfg.Collector
-	eng := net.Engine()
-	f := mptcp.New(eng, mptcp.Options{
+	rec := cfg.getRec()
+	rec.cat = net.Categorize(src, dst)
+	rec.onDone = onDone
+	rec.recordGoodput = true
+	f := cfg.newFlow(mptcp.Options{
 		NameFn:      nameFn,
-		Src:         srcH,
-		Dst:         dstH,
+		Src:         net.Host(src),
+		Dst:         net.Host(dst),
 		Subflows:    specs,
 		TotalBytes:  bytes,
 		Algorithm:   cfg.Scheme.Algorithm,
 		Beta:        cfg.Scheme.Beta,
 		InitialCwnd: cfg.InitialCwnd,
 		Transport:   cfg.Transport,
-		NextConnID:  net.NextConnID,
-		OnComplete: func(f *mptcp.Flow) {
-			if col != nil {
-				col.recordFlow(f, cat, eng.Now())
-			}
-			if onDone != nil {
-				onDone(f)
-			}
-		},
-		OnRTTSample: func(_ int, rtt sim.Duration) {
-			if col != nil {
-				col.recordRTT(cat, rtt)
-			}
-		},
+		NextConnID:  cfg.nextConnID(),
+		OnComplete:  rec.onComplete,
+		OnRTTSample: rec.onRTT,
 	})
 	f.Start()
 	return f
@@ -171,31 +267,27 @@ func LaunchFlow(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)
 // cover large flows only).
 func launchSmallTCP(cfg *Config, src, dst int, bytes int64, onDone func(*mptcp.Flow)) *mptcp.Flow {
 	net := cfg.Net
-	cat := net.Categorize(src, dst)
-	col := cfg.Collector
 	var nameFn func() string
 	if cfg.TraceNames {
 		nameFn = func() string { return fmt.Sprintf("tcp:%d->%d", src, dst) }
 	}
-	f := mptcp.New(net.Engine(), mptcp.Options{
-		NameFn:     nameFn,
-		Src:        net.Host(src),
-		Dst:        net.Host(dst),
-		Subflows:   []mptcp.SubflowSpec{{SrcAddr: net.AliasOf(src, 0), DstAddr: net.AliasOf(dst, 0)}},
-		TotalBytes: bytes,
-		Algorithm:  mptcp.AlgReno,
-		Transport:  cfg.Transport,
-		NextConnID: net.NextConnID,
-		OnComplete: func(f *mptcp.Flow) {
-			if onDone != nil {
-				onDone(f)
-			}
-		},
-		OnRTTSample: func(_ int, rtt sim.Duration) {
-			if col != nil {
-				col.recordRTT(cat, rtt)
-			}
-		},
+	specs := cfg.specs(1)
+	specs[0] = mptcp.SubflowSpec{SrcAddr: net.AliasOf(src, 0), DstAddr: net.AliasOf(dst, 0)}
+	rec := cfg.getRec()
+	rec.cat = net.Categorize(src, dst)
+	rec.onDone = onDone
+	rec.recordGoodput = false
+	f := cfg.newFlow(mptcp.Options{
+		NameFn:      nameFn,
+		Src:         net.Host(src),
+		Dst:         net.Host(dst),
+		Subflows:    specs,
+		TotalBytes:  bytes,
+		Algorithm:   mptcp.AlgReno,
+		Transport:   cfg.Transport,
+		NextConnID:  cfg.nextConnID(),
+		OnComplete:  rec.onComplete,
+		OnRTTSample: rec.onRTT,
 	})
 	f.Start()
 	return f
