@@ -329,6 +329,29 @@ func BenchmarkEngineCancel(b *testing.B) {
 	eng.Run(sim.MaxTime)
 }
 
+// BenchmarkBucketDrain is the spill-bucket design in isolation: each
+// round appends 32 same-window events to one ring bucket (plain appends,
+// no comparisons) and drains it (one drain sort + 32 tail truncations).
+// Reported per event. The parked far-future events keep the calendar in
+// dense mode so every operation takes the ring path.
+func BenchmarkBucketDrain(b *testing.B) {
+	eng := sim.NewEngine()
+	for i := 0; i < 65; i++ {
+		eng.Schedule(3600*sim.Second, func() {})
+	}
+	n := 0
+	fn := func() { n++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 32 {
+		base := (eng.Now() + 512) &^ 255 // next-but-one 256 ns window
+		for j := 0; j < 32; j++ {
+			eng.ScheduleAt(base+sim.Time(j), fn)
+		}
+		eng.Run(base + 31)
+	}
+}
+
 // releaseSink terminates packets like a host: every delivery leaves the
 // simulation and returns to the pool.
 type releaseSink struct{ delivered int64 }

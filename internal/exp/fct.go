@@ -27,6 +27,16 @@ type FCTPoint struct {
 	// FCT percentiles in milliseconds.
 	P50Ms, P95Ms, P99Ms, P999Ms float64
 	Drops                       int64
+	// BySize slices the same completion times by flow size — the paper's
+	// "small flows p99 vs large flows" cut. Indexed by workload.FCTSizeBin
+	// (0 ≤ 32 KB, 1 in (32 KB, 1 MB], 2 > 1 MB).
+	BySize [workload.FCTBins]FCTBinPoint
+}
+
+// FCTBinPoint is one size bin's completion-time tail inside an FCTPoint.
+type FCTBinPoint struct {
+	Flows                float64
+	P50Ms, P99Ms, P999Ms float64
 }
 
 // fctSenders is the incast-burst fan-in: with 127 non-client hosts on the
@@ -70,6 +80,14 @@ func fctPoint(name string, eng *sim.Engine, ft *topo.FatTree, base workload.Conf
 		P95Ms:    col.FCT.Percentile(95),
 		P99Ms:    col.FCT.Percentile(99),
 		P999Ms:   col.FCT.Percentile(99.9),
+	}
+	for i, d := range col.FCTBySize {
+		p.BySize[i] = FCTBinPoint{
+			Flows:  float64(d.N()),
+			P50Ms:  d.Percentile(50),
+			P99Ms:  d.Percentile(99),
+			P999Ms: d.Percentile(99.9),
+		}
 	}
 	for _, layer := range []string{topo.LayerCore, topo.LayerAggregation, topo.LayerRack} {
 		p.Drops += ft.TotalQueueStats(layer).DroppedPackets
@@ -151,7 +169,10 @@ func RunFCTShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.W
 	return &ShardFile[FCTPoint]{Manifest: newManifest(CampaignFCT, desc, shard, len(cells)), Cells: out}
 }
 
-// RenderFCT prints the percentile table.
+// RenderFCT prints the percentile table, then the per-size-bin slicing of
+// the same distributions (the paper's "small flows p99 vs large flows"
+// comparison). Empty bins render as dashes so the table shape is stable
+// across cells that never produce a size class.
 func RenderFCT(w io.Writer, pts []FCTPoint) {
 	fmt.Fprintln(w, "Flow completion times: bounded-Pareto short flows and a 10k-sender incast burst (plain TCP, k=8 fat-tree)")
 	tb := newTable(w, 12, 9, 9, 11, 11, 11, 11, 9)
@@ -160,5 +181,20 @@ func RenderFCT(w io.Writer, pts []FCTPoint) {
 	for _, p := range pts {
 		tb.row(p.Cell, fmt.Sprintf("%d", p.Launched), fmt.Sprintf("%d", p.Flows),
 			f3(p.P50Ms), f3(p.P95Ms), f3(p.P99Ms), f3(p.P999Ms), fmt.Sprintf("%d", p.Drops))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "By flow size (acknowledged bytes at completion)")
+	sb := newTable(w, 12, 10, 9, 11, 11, 11)
+	sb.row("cell", "size", "flows", "p50 ms", "p99 ms", "p999 ms")
+	sb.rule()
+	for _, p := range pts {
+		for i, b := range p.BySize {
+			if b.Flows == 0 {
+				sb.row(p.Cell, workload.FCTBinLabel(i), "0", "-", "-", "-")
+				continue
+			}
+			sb.row(p.Cell, workload.FCTBinLabel(i), fmt.Sprintf("%.0f", b.Flows),
+				f3(b.P50Ms), f3(b.P99Ms), f3(b.P999Ms))
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 
 	"xmp/internal/arena"
 )
@@ -88,16 +89,16 @@ func (h Handle) At() Time {
 
 // Time-wheel geometry, sized from the k=8 cell's measured event density
 // (~40 events per µs of simulated time): a 256 ns bucket holds ~10 events
-// in the dense phases, so the per-bucket mini-heaps sift one or two
-// levels where the old global heap sifted six or seven. The ring is kept
-// deliberately short — 2^wheelBits buckets, a ~262 µs horizon — because
-// the whole structure (slice headers, seed backing, bitmap) then stays
-// cache-resident as the cursor streams through it. The horizon comfortably
-// covers the packet-hop events that dominate the calendar (serialization
-// at 1 Gbps is ~12 µs per full packet, propagation 20–40 µs per hop);
-// protocol timers (delayed ACK, RTO, experiment phases) live in the
-// overflow heap — where ALL events lived before the wheel — and are
-// promoted into the ring when the clock draws within the horizon.
+// in the dense phases, so a one-shot drain sort touches a handful of
+// cache-resident entries. The ring is kept deliberately short —
+// 2^wheelBits buckets, a ~262 µs horizon — because the whole structure
+// (slice headers, seed backing, bitmap) then stays cache-resident as the
+// cursor streams through it. The horizon comfortably covers the
+// packet-hop events that dominate the calendar (serialization at 1 Gbps
+// is ~12 µs per full packet, propagation 20–40 µs per hop); protocol
+// timers (delayed ACK, RTO, experiment phases) live in the overflow heap
+// — where ALL events lived before the wheel — and are promoted into the
+// ring when the clock draws within the horizon.
 const (
 	wheelBucketBits = 8  // bucket width: 2^8 ns = 256 ns
 	wheelBits       = 10 // 2^10 = 1024 buckets
@@ -108,6 +109,9 @@ const (
 	// wheelSpan is the horizon of the ring: events at now+wheelSpan or
 	// later overflow.
 	wheelSpan = Time(wheelBuckets) << wheelBucketBits
+	// wheelAlignMask aligns an absolute time down to the start of its
+	// 256 ns bucket window: t &^ wheelAlignMask.
+	wheelAlignMask = Time(wheelBucketWidth) - 1
 )
 
 // bucketOf maps an absolute time to its wheel bucket. The mapping is a
@@ -122,14 +126,18 @@ func bucketOf(t Time) int32 { return int32((t >> wheelBucketBits) & wheelMask) }
 // steady-state simulation allocates no events at all.
 //
 // The calendar is a bucketed time-wheel: a ring of time buckets covering
-// [wheelBase, wheelBase+wheelSpan), each bucket a tiny 4-ary min-heap
-// ordered by the global (time, seq) key, plus a single 4-ary overflow heap
-// for events beyond the horizon. The head of the calendar is the smaller
-// of (first occupied bucket's root, overflow root) under the same strict
+// [wheelBase, wheelBase+wheelSpan), each bucket an unsorted *spill list*,
+// plus a single 4-ary overflow heap for events beyond the horizon.
+// Scheduling into a ring bucket is a plain append — no comparisons, no
+// sift — and ordering is established once, when the drain cursor reaches
+// the bucket: a one-shot in-place sort puts the bucket in descending
+// (time, seq) order so the next event to fire sits at the tail and every
+// pop is a truncation. The head of the calendar is the smaller of (first
+// occupied bucket's earliest event, overflow root) under the same strict
 // (time, seq) total order, so pop order is identical to a single global
-// heap — the wheel only changes how much work each operation does. The
-// hot-path win: a bucket holds a handful of events where the global heap
-// held tens of thousands, so sift depth collapses to one or two levels.
+// heap — the wheel only changes how much work each operation does: O(1)
+// amortized per insert against the heap's O(log n), and the dominant
+// comparison traffic collapses into one cache-friendly pass per bucket.
 type Engine struct {
 	now     Time
 	nextSeq uint64
@@ -148,6 +156,27 @@ type Engine struct {
 	// cancelled corpses); zero lets head skip the bitmap scan outright.
 	ringEntries int
 
+	// runAligned/runSlot memoize the bucket window and index of the most
+	// recent generic ring insert — the engine-global batching memo.
+	// Synchronized workload phases (incast rounds, flow-start waves)
+	// schedule long runs of events at identical or near-identical
+	// instants; when the next deadline falls into the same 256 ns window,
+	// the event is appended to the memoized bucket directly, skipping
+	// re-anchoring, the horizon check, and the bucket mapping. The memo is
+	// self-validating: the window is an absolute aligned time, and any
+	// deadline inside it is provably within the current ring horizon (see
+	// insert). -1 until the first ring insert.
+	runAligned Time
+	runSlot    int32
+
+	// headSlot/headAligned memoize the first occupied ring bucket so the
+	// drain loop does not rescan the occupancy bitmap on every head()
+	// call. headSlot is -1 when unknown (bucket drained, or never
+	// scanned); an insert into an earlier window lowers the memo, keeping
+	// it exact whenever it is set.
+	headSlot    int32
+	headAligned Time
+
 	// Far-future overflow: 4-ary min-heap by (at, seq).
 	overflow []*Event
 	// canceledOverflow tracks lazily-cancelled events still occupying
@@ -156,8 +185,12 @@ type Engine struct {
 	// horizon of simulated time, reclaiming them in passing.
 	canceledOverflow int
 
-	// pending counts live (non-cancelled) scheduled events.
-	pending int
+	// cancels counts events removed by Cancel. Together with nextSeq
+	// (every insert) and processed (every fire) it determines the live
+	// pending count as nextSeq - processed - cancels — each event meets
+	// exactly one of fire or Cancel — so the hot insert/fire paths carry
+	// no pending read-modify-write at all.
+	cancels uint64
 
 	// free is the Event recycling stack. Single-threaded like the engine,
 	// so no locking; never shared across engines.
@@ -166,11 +199,13 @@ type Engine struct {
 	// peaks at N simultaneous events costs ~N/chunk heap allocations
 	// instead of N before the free list takes over.
 	slab arena.Slab[Event]
+	// slabAllocs counts fresh slab carves; free-list hits are then
+	// nextSeq - slabAllocs (every insert is one or the other), so the
+	// recycling observability costs nothing on the hot path.
+	slabAllocs uint64
 	// processed counts events executed, for progress reporting and the
 	// runaway guard in tests.
 	processed uint64
-	// recycled counts free-list hits (observability for the benchmarks).
-	recycled uint64
 	// promoted counts overflow events moved into the ring as the clock
 	// approached their deadline (observability for the wheel tests).
 	promoted uint64
@@ -178,7 +213,11 @@ type Engine struct {
 
 	// The ring itself lives at the end of the struct so the hot scalar
 	// fields above share cache lines instead of straddling its ~24 KB.
-	buckets  [wheelBuckets][]*Event
+	buckets [wheelBuckets][]*Event
+	// sorted[b] reports that bucket b is in drain order: descending
+	// (time, seq), next event to fire at the tail. Every append clears
+	// it; the drain re-sorts at most once per intervening append.
+	sorted   [wheelBuckets]bool
 	occupied [wheelBuckets / 64]uint64 // occupancy bitmap over buckets
 }
 
@@ -194,7 +233,7 @@ const bucketSeedCap = 64
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
 func NewEngine() *Engine {
-	e := &Engine{wheelEnd: wheelSpan}
+	e := &Engine{wheelEnd: wheelSpan, runAligned: -1, headSlot: -1}
 	backing := make([]*Event, wheelBuckets*bucketSeedCap)
 	for i := range e.buckets {
 		e.buckets[i] = backing[i*bucketSeedCap : i*bucketSeedCap : (i+1)*bucketSeedCap]
@@ -209,14 +248,14 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Recycled returns the number of Schedule calls served from the free-list.
-func (e *Engine) Recycled() uint64 { return e.recycled }
+func (e *Engine) Recycled() uint64 { return e.nextSeq - e.slabAllocs }
 
 // Promoted returns the number of overflow events promoted into the ring.
 func (e *Engine) Promoted() uint64 { return e.promoted }
 
 // Pending returns the number of events currently scheduled (cancelled
 // events awaiting lazy reclamation are not counted).
-func (e *Engine) Pending() int { return e.pending }
+func (e *Engine) Pending() int { return int(e.nextSeq - e.processed - e.cancels) }
 
 // less orders the calendar: earlier time first, FIFO at the same instant.
 func less(a, b *Event) bool {
@@ -226,9 +265,9 @@ func less(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
-// heapPush appends ev to the 4-ary min-heap h and sifts it up its parent
-// chain. The hole is moved, not swapped: one write per level plus the
-// final placement. Shared by the overflow heap and every ring bucket.
+// heapPush appends ev to the 4-ary overflow min-heap h and sifts it up its
+// parent chain. The hole is moved, not swapped: one write per level plus
+// the final placement.
 func heapPush(hp *[]*Event, ev *Event) {
 	*hp = append(*hp, ev)
 	h := *hp
@@ -237,21 +276,23 @@ func heapPush(hp *[]*Event, ev *Event) {
 		parent := (i - 1) >> 2
 		p := h[parent]
 		if !less(ev, p) {
-			break
+			return // already in place from the append / previous store
 		}
 		h[i] = p
 		i = parent
+		h[i] = ev
 	}
-	h[i] = ev
 }
 
-// heapPop removes and returns the minimum event of h.
+// heapPop removes and returns the minimum event of h. The truncated tail
+// slot keeps its stale pointer: Event structs are engine-owned and
+// recycled forever, so the retention is bounded and clearing it would be
+// a pure write-barrier cost on the hot path.
 func heapPop(hp *[]*Event) *Event {
 	h := *hp
 	n := len(h) - 1
 	top := h[0]
 	last := h[n]
-	h[n] = nil
 	*hp = h[:n]
 	if n > 0 {
 		siftDown(h[:n], 0, last)
@@ -287,6 +328,48 @@ func siftDown(h []*Event, i int, ev *Event) {
 	h[i] = ev
 }
 
+// spillSortMax is the bucket size at which the drain sort switches from
+// insertion sort to pdqsort (slices.SortFunc).
+const spillSortMax = 32
+
+// sortSpill establishes drain order on one spill bucket: descending
+// (time, seq), so the earliest event sits at the tail and every pop is a
+// truncation. (time, seq) is a strict total order — no two events share a
+// key — so any correct sort produces the same drain order regardless of
+// algorithm or stability; the split below is pure mechanics. Typical
+// dense-phase buckets hold ~10 events, where a single insertion-sort pass
+// over the cache-resident slice beats pdqsort's dispatch; genuine
+// pile-ups (synchronized incast rounds) fall through to pdqsort.
+func sortSpill(s []*Event) {
+	if len(s) <= spillSortMax {
+		for i := 1; i < len(s); i++ {
+			ev := s[i]
+			j := i - 1
+			for j >= 0 && less(s[j], ev) {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = ev
+		}
+		return
+	}
+	slices.SortFunc(s, func(a, b *Event) int {
+		if a.at != b.at {
+			if a.at > b.at {
+				return -1
+			}
+			return 1
+		}
+		if a.seq != b.seq {
+			if a.seq > b.seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+}
+
 // compactOverflow rebuilds the overflow heap without its lazily-cancelled
 // events, recycling them. Triggered when cancelled entries dominate, so
 // the O(n) rebuild amortizes to O(1) per Cancel. The pop order of the
@@ -297,6 +380,7 @@ func (e *Engine) compactOverflow() {
 	live := h[:0]
 	for _, ev := range h {
 		if ev.canceled {
+			ev.canceled = false // free-list invariant
 			e.free = append(e.free, ev)
 		} else {
 			live = append(live, ev)
@@ -312,27 +396,45 @@ func (e *Engine) compactOverflow() {
 	}
 }
 
-// alloc pops a recycled Event or carves a fresh one from the slab.
-func (e *Engine) alloc() *Event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		e.recycled++
-		return ev
-	}
+// allocSlow carves a fresh Event from the slab — the free-list miss path,
+// kept out of line so insert's open-coded free-list pop stays small. The
+// popped free-list slot keeps its stale pointer (see heapPop for why that
+// is free).
+//
+//go:noinline
+func (e *Engine) allocSlow() *Event {
+	e.slabAllocs++
 	return e.slab.Get()
 }
 
-// recycle retires a fired event to the free-list. Bumping the generation
-// here is what invalidates every outstanding Handle to it.
+// recycle retires a fired or tail-cancelled event to the free-list.
+// Bumping the generation here is what invalidates every outstanding
+// Handle to it; the payload fields are nilled so the engine does not keep
+// closures or packets alive past their event. Only the fields of the
+// event's own kind are cleared: free-listed events have every payload
+// field nil (slab-fresh structs start zeroed, Schedule sets only its own
+// kind's fields, recycle clears them again), so the other kind's fields
+// are already nil and re-storing them would only buy write-barrier
+// traffic on the hot path.
 func (e *Engine) recycle(ev *Event) {
 	ev.gen++
-	ev.fn = nil // release payload references for GC
-	ev.target = nil
-	ev.arg = nil
-	ev.canceled = true
+	if ev.kind == kindFunc {
+		ev.fn = nil
+	} else {
+		ev.target = nil
+		ev.arg = nil
+	}
 	e.free = append(e.free, ev)
+}
+
+//go:noinline
+func panicSchedulePast(t, now Time) {
+	panic(fmt.Sprintf("sim: schedule at %v before now %v", t, now))
+}
+
+//go:noinline
+func panicNegativeDelay(d Duration) {
+	panic(fmt.Sprintf("sim: negative delay %v", d))
 }
 
 // Schedule runs fn after delay d (>= 0). It returns a Handle, which may be
@@ -340,9 +442,15 @@ func (e *Engine) recycle(ev *Event) {
 // logic error in the caller.
 func (e *Engine) Schedule(d Duration, fn func()) Handle {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		panicNegativeDelay(d)
 	}
-	return e.ScheduleAt(e.now.Add(d), fn)
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := e.insert(e.now.Add(d))
+	ev.kind = kindFunc
+	ev.fn = fn
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAt runs fn at absolute time t (>= Now).
@@ -364,9 +472,17 @@ func (e *Engine) ScheduleAt(t Time, fn func()) Handle {
 // store into the event without allocating.
 func (e *Engine) ScheduleTarget(d Duration, t Target, op Op, arg any) Handle {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		panicNegativeDelay(d)
 	}
-	return e.ScheduleTargetAt(e.now.Add(d), t, op, arg)
+	if t == nil {
+		panic("sim: nil event target")
+	}
+	ev := e.insert(e.now.Add(d))
+	ev.kind = kindTarget
+	ev.target = t
+	ev.op = op
+	ev.arg = arg
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleTargetAt runs t.OnEvent(op, arg) at absolute time at (>= Now).
@@ -375,6 +491,40 @@ func (e *Engine) ScheduleTargetAt(at Time, t Target, op Op, arg any) Handle {
 		panic("sim: nil event target")
 	}
 	ev := e.insert(at)
+	ev.kind = kindTarget
+	ev.target = t
+	ev.op = op
+	ev.arg = arg
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// BucketRun memoizes where one call site's most recent event landed in
+// the calendar ring: the absolute 256 ns window and its bucket index.
+// ScheduleTargetRun consults it so that back-to-back schedules whose
+// deadlines share a bucket append as a run instead of going through the
+// generic insert. The memo is self-validating — the window is an
+// absolute aligned time and the slot is its pure-function bucket index —
+// so the zero value is ready to use and a stale memo can only miss, never
+// mis-place.
+type BucketRun struct {
+	aligned Time
+	slot    int32
+}
+
+// ScheduleTargetRun is ScheduleTarget with same-bucket batching through
+// the caller's own BucketRun memo. netem links keep one run per
+// scheduling site (propagation delivery, serialization done): bursts of
+// back-to-back transmissions whose deadlines land in one 256 ns bucket
+// cost one generic insert plus plain appends, with the drain sort
+// ordering the whole run in a single pass when the cursor reaches it.
+func (e *Engine) ScheduleTargetRun(r *BucketRun, d Duration, t Target, op Op, arg any) Handle {
+	if d < 0 {
+		panicNegativeDelay(d)
+	}
+	if t == nil {
+		panic("sim: nil event target")
+	}
+	ev := e.insertRun(r, e.now.Add(d))
 	ev.kind = kindTarget
 	ev.target = t
 	ev.op = op
@@ -392,38 +542,99 @@ func (e *Engine) ScheduleTargetAt(at Time, t Target, op Op, arg any) Handle {
 // under the same (time, seq) key.
 const ringThreshold = 64
 
+// spillAppend places ev into ring bucket b (the bucket covering the
+// window starting at aligned): a plain append plus bitmap and memo
+// maintenance. This is the entire insert-side cost of the spill-bucket
+// design — ordering is deferred to the drain sort.
+func (e *Engine) spillAppend(b int32, aligned Time, ev *Event) {
+	ev.slot = b
+	e.buckets[b] = append(e.buckets[b], ev)
+	e.sorted[b] = false
+	e.occupied[b>>6] |= 1 << (uint(b) & 63)
+	e.ringEntries++
+	if e.headSlot >= 0 && aligned < e.headAligned {
+		e.headSlot, e.headAligned = b, aligned
+	}
+}
+
 // insert allocates an event at time t with the next FIFO sequence number
-// and places it in the calendar: in its ring bucket when the calendar is
-// dense and t is within the horizon, in the overflow heap otherwise. The
-// caller fills in the payload.
+// and places it in the calendar: appended to its ring bucket when the
+// calendar is dense and t is within the horizon, pushed on the overflow
+// heap otherwise. The caller fills in the payload.
+//
+// The same-window fast path is safe without re-checking the horizon:
+// runAligned was stamped by an insert that proved its window lay inside
+// [wheelBase, wheelEnd), t >= now forces align(now) <= runAligned, the
+// base only ever advances to align(now), and the end only ever grows —
+// so the memoized window is still inside the ring and still maps to the
+// same bucket index.
 func (e *Engine) insert(t Time) *Event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+		panicSchedulePast(t, e.now)
 	}
-	ev := e.alloc()
+	// Free-list pop, open-coded: alloc as a helper is one call over the
+	// inline budget, and insert runs once per event. No canceled reset:
+	// every event reaching the free-list has canceled == false (corpse
+	// reclaim clears it), so insert skips the store.
+	var ev *Event
+	if n := len(e.free) - 1; n >= 0 {
+		ev = e.free[n]
+		e.free = e.free[:n]
+	} else {
+		ev = e.allocSlow()
+	}
 	ev.at = t
 	ev.seq = e.nextSeq
-	ev.canceled = false
 	e.nextSeq++
-	e.pending++
-	if e.pending > ringThreshold && t-e.now < wheelSpan {
+	if e.nextSeq-e.processed-e.cancels > ringThreshold && t-e.now < wheelSpan {
+		a := t &^ wheelAlignMask
+		if a == e.runAligned {
+			e.spillAppend(e.runSlot, a, ev)
+			return ev
+		}
 		// The ring is anchored lazily: the clock may have advanced many
 		// buckets since the last ring insert, so re-derive the base from
 		// now (and promote newly-near overflow events) before mapping t.
-		if base := e.now &^ (Time(wheelBucketWidth) - 1); base != e.wheelBase {
+		if base := e.now &^ wheelAlignMask; base != e.wheelBase {
 			e.reanchor(base)
 		}
 		if t < e.wheelEnd {
-			b := int(t>>wheelBucketBits) & wheelMask
-			ev.slot = int32(b)
-			heapPush(&e.buckets[b], ev)
-			e.occupied[b>>6] |= 1 << (uint(b) & 63)
-			e.ringEntries++
+			b := bucketOf(t)
+			e.runAligned, e.runSlot = a, b
+			e.spillAppend(b, a, ev)
 			return ev
 		}
 	}
 	ev.slot = overflowSlot
 	heapPush(&e.overflow, ev)
+	return ev
+}
+
+// insertRun is insert with the caller's own bucket memo consulted first,
+// and re-stamped after any generic placement that lands in the ring. The
+// pending comparison mirrors insert's post-increment dense check; the
+// fast arm's safety argument is the same as the engine-global memo's
+// (see insert), since a BucketRun's slot is the pure bucket index of its
+// aligned window.
+func (e *Engine) insertRun(r *BucketRun, t Time) *Event {
+	if a := t &^ wheelAlignMask; a == r.aligned && e.nextSeq-e.processed-e.cancels >= ringThreshold && t >= e.now {
+		var ev *Event
+		if n := len(e.free) - 1; n >= 0 {
+			ev = e.free[n]
+			e.free = e.free[:n]
+		} else {
+			ev = e.allocSlow()
+		}
+		ev.at = t
+		ev.seq = e.nextSeq
+		e.nextSeq++
+		e.spillAppend(r.slot, a, ev)
+		return ev
+	}
+	ev := e.insert(t)
+	if ev.slot >= 0 {
+		r.aligned, r.slot = ev.at&^wheelAlignMask, ev.slot
+	}
 	return ev
 }
 
@@ -434,18 +645,24 @@ func (e *Engine) insert(t Time) *Event {
 //
 // Cancellation is lazy: the event is marked dead in O(1) and its calendar
 // slot is reclaimed when the cursor (or the overflow head drain) reaches
-// it, instead of an eager sift per cancel. The handle goes stale
+// it, instead of an eager removal per cancel. The handle goes stale
 // immediately; only the struct's reuse is deferred. One fast path: when
 // the event occupies the last slot of its container (its ring bucket or
-// the overflow heap) it is a leaf, so truncating it cannot violate heap
-// order and the struct is reclaimed on the spot — the common shape for
-// schedule-then-cancel timer churn.
+// the overflow heap) it can be truncated without disturbing the
+// container's order — in an unsorted spill bucket the tail is the most
+// recent append (the schedule-then-cancel churn shape), in a drain-sorted
+// bucket it is the next event to fire, and in the overflow heap it is a
+// leaf; all three truncate safely — so the struct is reclaimed on the
+// spot.
 func (e *Engine) Cancel(h Handle) {
-	if !h.live() || h.ev.canceled {
+	ev := h.ev
+	// gen covers the canceled state too: every path that marks an event
+	// dead (interior corpse, tail truncation, fire) bumps gen first, so a
+	// matching generation implies a live, scheduled event.
+	if ev == nil || ev.gen != h.gen {
 		return
 	}
-	ev := h.ev
-	e.pending--
+	e.cancels++
 	// Branch on the container once and operate on its slice directly: the
 	// ring and overflow arms each load, test and truncate their own slice
 	// header, so the common tail-cancel path runs with no pointer
@@ -453,11 +670,13 @@ func (e *Engine) Cancel(h Handle) {
 	if b := ev.slot; b >= 0 {
 		s := e.buckets[b]
 		if n := len(s) - 1; s[n] == ev {
-			s[n] = nil
 			e.buckets[b] = s[:n]
 			e.ringEntries--
 			if n == 0 {
 				e.occupied[b>>6] &^= 1 << (uint(b) & 63)
+				if b == e.headSlot {
+					e.headSlot = -1
+				}
 			}
 			e.recycle(ev)
 			return
@@ -466,23 +685,28 @@ func (e *Engine) Cancel(h Handle) {
 		// horizon, so no counter is needed.
 		ev.canceled = true
 		ev.gen++ // invalidate all outstanding handles now
-		ev.fn = nil
-		ev.target = nil
-		ev.arg = nil
+		if ev.kind == kindFunc {
+			ev.fn = nil
+		} else {
+			ev.target = nil
+			ev.arg = nil
+		}
 		return
 	}
 	s := e.overflow
 	if n := len(s) - 1; s[n] == ev {
-		s[n] = nil
 		e.overflow = s[:n]
 		e.recycle(ev)
 		return
 	}
 	ev.canceled = true
 	ev.gen++ // invalidate all outstanding handles now
-	ev.fn = nil
-	ev.target = nil
-	ev.arg = nil
+	if ev.kind == kindFunc {
+		ev.fn = nil
+	} else {
+		ev.target = nil
+		ev.arg = nil
+	}
 	e.canceledOverflow++
 	// Compact when cancelled corpses outnumber live events and are
 	// worth the O(n) sweep; keeps RTO-churn heaps from growing without
@@ -499,12 +723,13 @@ func (e *Engine) Stop() { e.stopped = true }
 // reanchor re-bases the ring window to [base, base+span) — base must be
 // the bucket-aligned current time — and promotes overflow events whose
 // deadline now falls within the horizon into their ring buckets.
-// Promotion preserves the (time, seq) drain order trivially: both
-// containers are min-ordered by the same key, and the head selection
-// compares across them. Called only from the dense-mode insert path, so a
-// sparse calendar never pays for base maintenance; correctness does not
-// depend on freshness, because the cursor scan derives its position from
-// the clock, not from the base.
+// Promotion preserves the (time, seq) drain order trivially: a promoted
+// event is appended like any other insert and sorted into place when its
+// bucket drains, and the head selection compares across both containers.
+// Called only from the dense-mode insert path, so a sparse calendar never
+// pays for base maintenance; correctness does not depend on freshness,
+// because the drain derives its position from the clock, not from the
+// base.
 func (e *Engine) reanchor(base Time) {
 	e.wheelBase = base
 	end := base + wheelSpan
@@ -517,6 +742,7 @@ func (e *Engine) reanchor(base Time) {
 		if head.canceled {
 			heapPop(&e.overflow)
 			e.canceledOverflow--
+			head.canceled = false // free-list invariant: corpses reset here
 			e.free = append(e.free, head)
 			continue
 		}
@@ -524,18 +750,16 @@ func (e *Engine) reanchor(base Time) {
 			break
 		}
 		heapPop(&e.overflow)
-		b := bucketOf(head.at)
-		head.slot = b
-		heapPush(&e.buckets[b], head)
-		e.occupied[b>>6] |= 1 << (uint(b) & 63)
-		e.ringEntries++
+		e.spillAppend(bucketOf(head.at), head.at&^wheelAlignMask, head)
 		e.promoted++
 	}
 }
 
 // wheelScan returns the first occupied bucket at or after the cursor in
 // ring order, or -1 when the ring is empty. With the occupancy bitmap the
-// scan is a handful of word operations regardless of ring sparsity.
+// scan is a handful of word operations regardless of ring sparsity; the
+// headSlot memo keeps it off the per-event path entirely while the same
+// bucket keeps draining.
 func (e *Engine) wheelScan() int32 {
 	cur := int(bucketOf(e.now))
 	w := cur >> 6
@@ -556,36 +780,74 @@ func (e *Engine) wheelScan() int32 {
 }
 
 // head returns the earliest live event in the calendar without removing
-// it, draining lazily-cancelled corpses it encounters at container heads.
-// Returns nil when the calendar is empty.
+// it, establishing drain order on the bucket it came from and reclaiming
+// lazily-cancelled corpses it encounters at container heads. Returns nil
+// when the calendar is empty.
 func (e *Engine) head() *Event {
+	if e.ringEntries == 0 {
+		// Sparse fast path: the calendar is just the overflow heap, so the
+		// head is its first live root — no bucket machinery, no two-way
+		// comparison.
+		for {
+			s := e.overflow
+			if len(s) == 0 {
+				return nil
+			}
+			if c := s[0]; !c.canceled {
+				return c
+			}
+			corpse := heapPop(&e.overflow)
+			e.canceledOverflow--
+			corpse.canceled = false // free-list invariant
+			e.free = append(e.free, corpse)
+		}
+	}
 	for {
 		var wev *Event
 		if e.ringEntries > 0 {
-			if b := e.wheelScan(); b >= 0 {
+			b := e.headSlot
+			if b < 0 {
+				b = e.wheelScan()
+				if b >= 0 {
+					e.headSlot = b
+					e.headAligned = e.buckets[b][0].at &^ wheelAlignMask
+				}
+			}
+			if b >= 0 {
 				bucket := e.buckets[b]
-				if bucket[0].canceled {
-					corpse := heapPop(&e.buckets[b])
-					e.ringEntries--
-					if len(e.buckets[b]) == 0 {
-						e.occupied[b>>6] &^= 1 << (uint(b) & 63)
-					}
+				if !e.sorted[b] {
+					sortSpill(bucket)
+					e.sorted[b] = true
+				}
+				n := len(bucket) - 1
+				tail := bucket[n]
+				if tail.canceled {
 					// Cancel already bumped gen and cleared the payload;
-					// the struct only needs to reach the free-list.
-					e.free = append(e.free, corpse)
+					// the struct only needs the canceled reset (free-list
+					// invariant) on its way to the free-list.
+					e.buckets[b] = bucket[:n]
+					e.ringEntries--
+					if n == 0 {
+						e.occupied[b>>6] &^= 1 << (uint(b) & 63)
+						e.headSlot = -1
+					}
+					tail.canceled = false
+					e.free = append(e.free, tail)
 					continue
 				}
-				wev = bucket[0]
+				wev = tail
 			}
 		}
-		for len(e.overflow) > 0 && e.overflow[0].canceled {
+		var oev *Event
+		for s := e.overflow; len(s) > 0; s = e.overflow {
+			if c := s[0]; !c.canceled {
+				oev = c
+				break
+			}
 			corpse := heapPop(&e.overflow)
 			e.canceledOverflow--
+			corpse.canceled = false // free-list invariant
 			e.free = append(e.free, corpse)
-		}
-		var oev *Event
-		if len(e.overflow) > 0 {
-			oev = e.overflow[0]
 		}
 		switch {
 		case wev == nil:
@@ -598,35 +860,33 @@ func (e *Engine) head() *Event {
 	}
 }
 
-// pop removes ev — which must be the event head() just returned — from
-// its container.
-func (e *Engine) pop(ev *Event) {
+// fire pops the head event — which head() must have just returned, so it
+// is live and, if ring-resident, its (drain-sorted) bucket's tail — and
+// executes it. The struct is recycled before the callback runs, so the
+// callback's own Schedule calls reuse it; the payload is copied out first
+// to keep the execution independent of that reuse.
+func (e *Engine) fire(ev *Event) {
 	if b := ev.slot; b >= 0 {
-		heapPop(&e.buckets[b])
+		s := e.buckets[b]
+		n := len(s) - 1
+		e.buckets[b] = s[:n]
 		e.ringEntries--
-		if len(e.buckets[b]) == 0 {
+		if n == 0 {
 			e.occupied[b>>6] &^= 1 << (uint(b) & 63)
+			e.headSlot = -1
 		}
 	} else {
 		heapPop(&e.overflow)
 	}
-}
-
-// fire pops the head event and executes it. head must have run first, so
-// the head is live. The struct is recycled before the callback runs, so
-// the callback's own Schedule calls reuse it; the local copies below keep
-// the execution independent of that reuse.
-func (e *Engine) fire(ev *Event) {
-	e.pop(ev)
-	at, kind := ev.at, ev.kind
-	fn, target, op, arg := ev.fn, ev.target, ev.op, ev.arg
-	e.recycle(ev)
-	e.pending--
-	e.now = at
+	e.now = ev.at
 	e.processed++
-	if kind == kindFunc {
+	if ev.kind == kindFunc {
+		fn := ev.fn
+		e.recycle(ev)
 		fn()
 	} else {
+		target, op, arg := ev.target, ev.op, ev.arg
+		e.recycle(ev)
 		target.OnEvent(op, arg)
 	}
 }

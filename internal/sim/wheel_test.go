@@ -167,13 +167,16 @@ func TestWheelHeapDifferential(t *testing.T) {
 
 	for round := 0; round < 30; round++ {
 		// Schedule a batch with delays covering same-bucket collisions, the
-		// ring horizon, the exact split boundary, and deep overflow.
+		// ring horizon, the exact split boundary, deep overflow, and exact
+		// same-tick repeats — (time, seq) ties inside one spill bucket,
+		// which only the drain sort's tiebreaker can order correctly.
 		n := 20 + rng.Intn(120)
 		handles := make([]Handle, n)
+		delays := make([]Duration, n)
 		idx := make([]int, n)
 		for i := 0; i < n; i++ {
 			var d Duration
-			switch rng.Intn(4) {
+			switch rng.Intn(5) {
 			case 0:
 				d = Duration(rng.Int63n(4 * int64(wheelBucketWidth)))
 			case 1:
@@ -185,18 +188,35 @@ func TestWheelHeapDifferential(t *testing.T) {
 				if d < 0 {
 					d = 0
 				}
+			case 4:
+				// Exact repeat of an earlier delay in this batch: the same
+				// instant, so the same bucket and a pure seq tie.
+				if i > 0 {
+					d = delays[rng.Intn(i)]
+				}
 			}
 			id := nextID
 			nextID++
 			handles[i] = eng.Schedule(d, func() { fired = append(fired, id) })
+			delays[i] = d
 			idx[i] = len(ref)
 			ref = append(ref, refEvent{at: eng.Now().Add(d), id: id})
 		}
-		// Cancel ~1/4 of this batch after the fact.
+		// Cancel ~1/4 of this batch after the fact, and reschedule half of
+		// the cancelled deadlines at the same instant — cancel-then-
+		// reschedule landing in the same spill bucket, where the corpse and
+		// its replacement coexist until the drain reclaims one and fires
+		// the other.
 		for i := 0; i < n; i++ {
 			if rng.Intn(4) == 0 {
 				eng.Cancel(handles[i])
 				ref[idx[i]].canceled = true
+				if rng.Intn(2) == 0 {
+					id := nextID
+					nextID++
+					eng.Schedule(delays[i], func() { fired = append(fired, id) })
+					ref = append(ref, refEvent{at: eng.Now().Add(delays[i]), id: id})
+				}
 			}
 		}
 		// Run to a random horizon so batches interleave across rounds.
@@ -227,5 +247,175 @@ func TestWheelHeapDifferential(t *testing.T) {
 	}
 	if eng.Pending() != 0 {
 		t.Fatalf("Pending = %d after full drain", eng.Pending())
+	}
+}
+
+// TestSpillBucketSameTickTies pins FIFO order for (time, seq) ties inside
+// one spill bucket under cancel churn: many events at the same instant,
+// some cancelled as bucket tails (reclaimed eagerly) and some as interior
+// corpses (reclaimed by the drain), must fire in exact schedule order.
+func TestSpillBucketSameTickTies(t *testing.T) {
+	eng := NewEngine()
+	horizon := park(eng, ringThreshold+1)
+
+	const d = 3 * wheelBucketWidth // one shared instant, well inside the ring
+	var fired []int
+	var handles []Handle
+	var want []int
+	for i := 0; i < 40; i++ {
+		i := i
+		h := eng.Schedule(d, func() { fired = append(fired, i) })
+		if h.ev.slot == overflowSlot {
+			t.Fatalf("event %d routed to overflow, want ring bucket", i)
+		}
+		handles = append(handles, h)
+		if i%5 == 4 {
+			// Tail cancel: this event was the bucket's last append, so the
+			// slot is truncated and the struct recycles immediately.
+			eng.Cancel(h)
+			handles[i] = Handle{}
+		}
+	}
+	// Interior cancels after the fact: corpses that stay in the bucket
+	// until the drain sort carries them to the tail.
+	for i := 0; i < 40; i += 7 {
+		eng.Cancel(handles[i]) // zero Handle for tail-cancelled ones: no-op
+	}
+	for i := 0; i < 40; i++ {
+		if i%5 != 4 && i%7 != 0 {
+			want = append(want, i)
+		}
+	}
+	eng.Run(horizon)
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d (%v vs %v)", len(fired), len(want), fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("tie order diverges at %d: got %v, want %v", i, fired, want)
+		}
+	}
+}
+
+// TestCancelRescheduleSameBucket moves a timer out of and back into the
+// same spill bucket: a tail cancel must recycle the struct immediately
+// (the replacement reuses it), an interior cancel must leave a corpse
+// that never fires, and the replacements fire in seq order after the
+// survivors.
+func TestCancelRescheduleSameBucket(t *testing.T) {
+	eng := NewEngine()
+	horizon := park(eng, ringThreshold+1)
+
+	const d = 2 * wheelBucketWidth
+	var order []string
+	note := func(s string) func() { return func() { order = append(order, s) } }
+
+	// Tail cancel: the cancelled event is the bucket's most recent append.
+	h1 := eng.Schedule(d, func() { t.Error("tail-cancelled event fired") })
+	eng.Cancel(h1)
+	h2 := eng.Schedule(d, note("reissue"))
+	if h2.ev != h1.ev {
+		t.Fatal("tail cancel did not recycle the struct for the next schedule")
+	}
+	if h2.gen == h1.gen {
+		t.Fatal("recycled struct kept its generation")
+	}
+
+	// Interior cancel: bury a victim mid-bucket, then reschedule the same
+	// deadline; the corpse stays in the bucket until the drain.
+	ha := eng.Schedule(d, note("a"))
+	victim := eng.Schedule(d, func() { t.Error("interior-cancelled event fired") })
+	hc := eng.Schedule(d, note("c"))
+	eng.Cancel(victim)
+	hb := eng.Schedule(d, note("b2")) // same instant, later seq: fires last
+	for _, h := range []Handle{ha, hc, hb} {
+		if h.ev.slot == overflowSlot {
+			t.Fatal("same-bucket reschedule landed in overflow")
+		}
+	}
+	eng.Run(horizon)
+	want := []string{"reissue", "a", "c", "b2"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if eng.Pending() != ringThreshold+1 {
+		t.Fatalf("Pending = %d after drain, want %d parked", eng.Pending(), ringThreshold+1)
+	}
+}
+
+// TestPromotionIntoPartiallyDrainedBucket forces an overflow→ring
+// promotion to land in the bucket the cursor is currently draining. The
+// clock coasts into the target window on overflow firings alone (no
+// dense insert, so the ring anchor goes stale and nothing is promoted
+// early); the first callback inside the window then schedules — the
+// insert re-anchors mid-drain and promotes the remaining overflow events
+// into the half-drained current bucket, where they must still fire in
+// exact (time, seq) order alongside freshly appended neighbours.
+func TestPromotionIntoPartiallyDrainedBucket(t *testing.T) {
+	eng := NewEngine()
+	park(eng, ringThreshold+1)
+
+	var order []string
+	var times []Time
+	note := func(s string) func() {
+		return func() { order = append(order, s); times = append(times, eng.Now()) }
+	}
+
+	// All of these are beyond the horizon at schedule time: overflow.
+	base := eng.Now()
+	xAt := base.Add(Duration(wheelSpan) + 100) // the promotion subject
+	w := xAt &^ wheelAlignMask                 // its 256 ns window
+	lead := w.Sub(base) - 10                   // fires just before the window
+	hX := eng.Schedule(xAt.Sub(base), note("X"))
+	eng.Schedule(lead, note("lead"))
+	aFired := false
+	eng.Schedule(w.Sub(base)+10, func() {
+		// First event inside the window: now = w+10, the ring anchor is
+		// stale (no dense insert since t0). This insert re-anchors and
+		// promotes X (w+100) and C (w+200) into the current bucket, then
+		// appends E (w+30) behind them.
+		aFired = true
+		if eng.Now() != w.Add(10) {
+			t.Errorf("A fired at %v, want %v", eng.Now(), w.Add(10))
+		}
+		eng.Schedule(20, func() { // E at w+30
+			order = append(order, "E")
+			times = append(times, eng.Now())
+			if hX.ev.slot == overflowSlot {
+				t.Error("X still in overflow after the re-anchoring insert")
+			}
+			// Mid-drain appends into the now-sorted, partially drained
+			// bucket: F lands before X, G in the next bucket.
+			eng.Schedule(40, note("F"))  // w+70
+			eng.Schedule(500, note("G")) // next bucket
+		})
+	})
+	eng.Schedule(w.Sub(base)+200, note("C"))
+	if hX.ev.slot != overflowSlot {
+		t.Fatal("X not in overflow at schedule time")
+	}
+
+	promotedBefore := eng.Promoted()
+	eng.Run(w.Add(Duration(wheelSpan)))
+	if !aFired {
+		t.Fatal("window-opening event never fired")
+	}
+	if eng.Promoted() == promotedBefore {
+		t.Fatal("no promotion happened")
+	}
+	want := []string{"lead", "E", "F", "X", "C", "G"}
+	wantAt := []Time{w.Add(-10), w.Add(30), w.Add(70), xAt, w.Add(200), w.Add(530)}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] || times[i] != wantAt[i] {
+			t.Fatalf("fired %v at %v, want %v at %v", order, times, want, wantAt)
+		}
 	}
 }

@@ -47,6 +47,12 @@ type Collector struct {
 	// small flows alike. The short-flow campaigns report its p50/p95/p99/
 	// p999 tail; the goodput tables ignore it.
 	FCT *metrics.Dist
+	// FCTBySize slices the same completion times by flow size — the
+	// paper's "small flows p99 vs large flows" cut. Index with FCTSizeBin:
+	// 0 ≤ 32 KB, 1 in (32 KB, 1 MB], 2 > 1 MB. Sizes are acknowledged
+	// application bytes at completion, so partially-delivered flows bin by
+	// what they actually moved.
+	FCTBySize [FCTBins]*metrics.Dist
 
 	// FlowsCompleted counts finished large flows; BytesMoved their bytes.
 	FlowsCompleted int
@@ -57,6 +63,37 @@ type Collector struct {
 	// that.
 	RTTStride int
 	rttSeen   int
+}
+
+// FCT size-bin boundaries in bytes and bin count (see Collector.FCTBySize).
+const (
+	FCTSmallMaxBytes  = 32 << 10
+	FCTMediumMaxBytes = 1 << 20
+	FCTBins           = 3
+)
+
+// FCTSizeBin maps a flow's size in bytes to its FCTBySize index.
+func FCTSizeBin(bytes int64) int {
+	switch {
+	case bytes <= FCTSmallMaxBytes:
+		return 0
+	case bytes <= FCTMediumMaxBytes:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// FCTBinLabel names a FCTBySize index in rendered tables.
+func FCTBinLabel(bin int) string {
+	switch bin {
+	case 0:
+		return "<=32KB"
+	case 1:
+		return "32KB-1MB"
+	default:
+		return ">1MB"
+	}
 }
 
 // NewCollector returns an empty collector keeping every n-th RTT sample.
@@ -71,6 +108,9 @@ func NewCollector(rttStride int) *Collector {
 		JCT:          &metrics.Dist{},
 		FCT:          &metrics.Dist{},
 		RTTStride:    rttStride,
+	}
+	for i := range c.FCTBySize {
+		c.FCTBySize[i] = &metrics.Dist{}
 	}
 	for _, cat := range []topo.Category{topo.InnerRack, topo.InterRack, topo.InterPod} {
 		c.GoodputByCat[cat] = &metrics.Dist{}
@@ -88,7 +128,9 @@ func (c *Collector) recordFlow(f *mptcp.Flow, cat topo.Category, now sim.Time) {
 }
 
 func (c *Collector) recordFCT(f *mptcp.Flow) {
-	c.FCT.AddDuration(f.CompletionTime().Sub(f.StartTime()))
+	d := f.CompletionTime().Sub(f.StartTime())
+	c.FCT.AddDuration(d)
+	c.FCTBySize[FCTSizeBin(f.AckedBytes())].AddDuration(d)
 }
 
 func (c *Collector) recordRTT(cat topo.Category, rtt sim.Duration) {
