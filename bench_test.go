@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"testing"
 
+	"xmp/internal/chaos"
 	"xmp/internal/exp"
 	"xmp/internal/mptcp"
 	"xmp/internal/netem"
@@ -418,6 +419,50 @@ func BenchmarkMatrixParallel(b *testing.B) {
 			b.ReportMetric(m.Get(exp.Random, exp.SchemeXMP2).Collector.Goodput.Mean(), "xmp2-random-Mbps")
 		})
 	}
+}
+
+// BenchmarkChaosCell runs one k=8 robustness-style cell with the
+// campaign's full fault schedule active — link flap, switch failure, loss
+// burst, extra delay and jitter riding the same calendar as the traffic.
+// The delta against BenchmarkFatTreeCell is the cost of the chaos layer's
+// event hooks (queue drains on SetDown, Lossy re-arming, per-delivery
+// extra-delay reads) under load.
+func BenchmarkChaosCell(b *testing.B) {
+	var goodput, faults float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(1)
+		lossRNG := rng.Fork(99)
+		qm := func(ba *netem.BuildArena) netem.Queue {
+			return netem.NewLossy(ba.NewThresholdECN(100, 10), 0, lossRNG)
+		}
+		ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(qm))
+		col := workload.NewCollector(16)
+		workload.StartRandom(workload.RandomConfig{
+			Config: workload.Config{
+				Net:       ft,
+				RNG:       rng,
+				Scheme:    exp.SchemeXMP2,
+				Transport: transport.DefaultConfig(),
+				Collector: col,
+				Stop:      sim.Time(20 * sim.Millisecond),
+				Arena:     mptcp.NewArena(),
+			},
+			ParetoMeanBytes: 12 << 20,
+			ParetoMaxBytes:  48 << 20,
+			MaxFlowsPerDst:  4,
+		})
+		inj, err := chaos.New(ft.Network, exp.RobustnessSchedule())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inj.Install()
+		eng.RunAll(1 << 62)
+		goodput = col.Goodput.Mean()
+		faults = float64(inj.Applied())
+	}
+	b.ReportMetric(goodput, "goodput-Mbps")
+	b.ReportMetric(faults, "faults")
 }
 
 // benchShortFlowNet builds the small fat-tree + arena rig the launch-path

@@ -49,7 +49,9 @@ Subcommands:
   sack      SACK vs NewReno ablation for the loss-based schemes
   vl2       scheme comparison on a VL2 Clos fabric (generalization)
   fct       short-flow FCT percentiles: Pareto web-search/data-mining loops
-            and a 10,240-sender incast burst
+            and a 10,240-sender incast burst under TCP/DCTCP/XMP-2
+  robustness  scheme comparison under a deterministic fault schedule (link
+            flap, switch failure, loss burst, delay, jitter)
   all       everything above
   merge     reassemble per-shard -json exports into the full campaign output
   worker    serve the shard-task API for "xmpsim dispatch" (-listen :port)
@@ -57,7 +59,7 @@ Subcommands:
             -shards N); with no -workers, spawns -local N local workers
 
 Campaign subcommands (matrix, table2, ablation, sweep, params,
-incastsweep, sack, vl2, fct) accept -shard i/n to run only the cells owned by
+incastsweep, sack, vl2, fct, robustness) accept -shard i/n to run only the cells owned by
 shard i of n; the shard file written by -json is the output, and
 "xmpsim merge shard-*.json" rebuilds tables byte-identical to an
 unsharded run. merge also accepts glob patterns and directories (every
@@ -85,7 +87,7 @@ var (
 	// dispatch flags.
 	workersStr   = flag.String("workers", "", "dispatch: comma-separated worker addresses (host:port); empty spawns -local workers")
 	localWorkers = flag.Int("local", 2, "dispatch: local worker subprocesses to spawn when -workers is empty")
-	campaignName = flag.String("campaign", "", "dispatch: campaign to run (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct)")
+	campaignName = flag.String("campaign", "", "dispatch: campaign to run (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct, robustness)")
 	shardCount   = flag.Int("shards", 0, "dispatch: shard tasks to partition the campaign into (default: one per worker)")
 	outDir       = flag.String("outdir", "", "dispatch: also write the per-shard artifacts (shard-N.json) into this directory")
 	taskTimeout  = flag.Duration("task-timeout", 0, "dispatch: per-attempt timeout (default: derived from campaign scale)")
@@ -194,6 +196,8 @@ func main() {
 		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
 	case "fct":
 		exp.RenderFCT(os.Stdout, exp.RunFCT(scaleT(40*sim.Millisecond), *jobs, progress()))
+	case "robustness":
+		exp.RenderRobustness(os.Stdout, exp.RunRobustness(scaleT(40*sim.Millisecond), *jobs, progress()))
 	case "merge":
 		runMerge()
 	case "worker":
@@ -214,6 +218,7 @@ func main() {
 		exp.RenderSACKAblation(os.Stdout, exp.RunSACKAblation(scaleT(100*sim.Millisecond), *jobs, progress()))
 		exp.RenderVL2(os.Stdout, exp.RunVL2Comparison(nil, scaleT(100*sim.Millisecond), *jobs, progress()))
 		exp.RenderFCT(os.Stdout, exp.RunFCT(scaleT(40*sim.Millisecond), *jobs, progress()))
+		exp.RenderRobustness(os.Stdout, exp.RunRobustness(scaleT(40*sim.Millisecond), *jobs, progress()))
 	default:
 		usage()
 		os.Exit(2)
@@ -364,9 +369,9 @@ func shardSpec(cmd string) (exp.ShardSpec, bool) {
 		return exp.Unsharded, false
 	}
 	switch cmd {
-	case "matrix", "table2", "ablation", "sweep", "params", "incastsweep", "sack", "vl2", "fct":
+	case "matrix", "table2", "ablation", "sweep", "params", "incastsweep", "sack", "vl2", "fct", "robustness":
 	default:
-		fmt.Fprintf(os.Stderr, "xmpsim: -shard applies to campaign subcommands (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct), not %q\n", cmd)
+		fmt.Fprintf(os.Stderr, "xmpsim: -shard applies to campaign subcommands (matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct, robustness), not %q\n", cmd)
 		os.Exit(2)
 	}
 	spec, err := exp.ParseShardSpec(*shardStr)
@@ -435,7 +440,7 @@ func runWorker() {
 // spawns -local worker subprocesses of this same binary.
 func runDispatch() {
 	if *campaignName == "" {
-		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct)")
+		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct, robustness)")
 		os.Exit(2)
 	}
 	var workers []string

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"fmt"
+
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+)
+
+// Injector binds a validated Schedule to a concrete network: every target
+// name resolved to its link or switch, every loss-burst target checked to
+// carry a Lossy queue. Resolution happens up front so a typo'd schedule
+// fails at construction, not two simulated minutes into a campaign cell.
+type Injector struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	sched Schedule
+
+	links       map[string]*netem.Link
+	lossy       map[string]*netem.Lossy
+	switchLinks map[string][]*netem.Link
+
+	applied   int
+	installed bool
+}
+
+// New resolves sched against net. The injector draws any randomness it
+// needs (jitter resampling) from its own RNG seeded by sched.Seed, so the
+// fault sequence is independent of how much randomness the workload
+// consumes.
+func New(net *topo.Network, sched Schedule) (*Injector, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		eng:         net.Eng,
+		rng:         sim.NewRNG(sched.Seed),
+		sched:       sched,
+		links:       make(map[string]*netem.Link),
+		lossy:       make(map[string]*netem.Lossy),
+		switchLinks: make(map[string][]*netem.Link),
+	}
+	byName := make(map[string]*netem.Link, len(net.Links()))
+	for _, li := range net.Links() {
+		byName[li.Name] = li.Link
+	}
+	for i, e := range sched.Events {
+		if e.Kind.targetsLink() {
+			l, ok := byName[e.Target]
+			if !ok {
+				return nil, fmt.Errorf("chaos: event %d: unknown link %q", i, e.Target)
+			}
+			inj.links[e.Target] = l
+			if e.Kind == LossBurst {
+				q, ok := l.Queue().(*netem.Lossy)
+				if !ok {
+					return nil, fmt.Errorf("chaos: event %d: link %q queue is not Lossy-wrapped", i, e.Target)
+				}
+				inj.lossy[e.Target] = q
+			}
+			continue
+		}
+		if _, done := inj.switchLinks[e.Target]; done {
+			continue
+		}
+		var sw *netem.Switch
+		for _, s := range net.Switches {
+			if s.Name == e.Target {
+				sw = s
+				break
+			}
+		}
+		if sw == nil {
+			return nil, fmt.Errorf("chaos: event %d: unknown switch %q", i, e.Target)
+		}
+		// A dead switch takes down both directions: its egress ports and
+		// every link delivering into it.
+		attached := sw.EgressLinks()
+		for _, li := range net.Links() {
+			if li.Dst() == netem.Receiver(sw) {
+				attached = append(attached, li.Link)
+			}
+		}
+		inj.switchLinks[e.Target] = attached
+	}
+	return inj, nil
+}
+
+// Install schedules every event on the engine's calendar, offsets relative
+// to now. Call once, before (or while) the workload runs.
+func (inj *Injector) Install() {
+	if inj.installed {
+		panic("chaos: injector installed twice")
+	}
+	inj.installed = true
+	for i := range inj.sched.Events {
+		e := inj.sched.Events[i]
+		inj.eng.Schedule(e.At, func() { inj.apply(e) })
+	}
+}
+
+// Applied returns how many scheduled events have fired so far (auto-heals
+// and jitter ticks are part of their event, not counted separately).
+func (inj *Injector) Applied() int { return inj.applied }
+
+func (inj *Injector) apply(e Event) {
+	inj.applied++
+	switch e.Kind {
+	case LinkDown:
+		l := inj.links[e.Target]
+		l.SetDown(true)
+		if e.Dur > 0 {
+			inj.eng.Schedule(e.Dur, func() { l.SetDown(false) })
+		}
+	case LinkUp:
+		inj.links[e.Target].SetDown(false)
+	case SwitchDown:
+		links := inj.switchLinks[e.Target]
+		for _, l := range links {
+			l.SetDown(true)
+		}
+		if e.Dur > 0 {
+			inj.eng.Schedule(e.Dur, func() {
+				for _, l := range links {
+					l.SetDown(false)
+				}
+			})
+		}
+	case SwitchUp:
+		for _, l := range inj.switchLinks[e.Target] {
+			l.SetDown(false)
+		}
+	case LossBurst:
+		q := inj.lossy[e.Target]
+		prev := q.P()
+		q.SetP(e.P)
+		inj.eng.Schedule(e.Dur, func() { q.SetP(prev) })
+	case ExtraDelay:
+		l := inj.links[e.Target]
+		l.SetExtraDelay(e.Extra)
+		if e.Dur > 0 {
+			inj.eng.Schedule(e.Dur, func() { l.SetExtraDelay(0) })
+		}
+	case Jitter:
+		inj.startJitter(e)
+	}
+}
+
+// startJitter resamples the link's extra delay every Period until the
+// window closes, then clears it. The resample draws come from the
+// injector's seeded RNG in calendar order, so two runs with the same
+// schedule see the same delay trajectory.
+func (inj *Injector) startJitter(e Event) {
+	l := inj.links[e.Target]
+	end := inj.eng.Now().Add(e.Dur)
+	var tick func()
+	tick = func() {
+		if inj.eng.Now() >= end {
+			l.SetExtraDelay(0)
+			return
+		}
+		l.SetExtraDelay(inj.rng.UniformDuration(0, e.Extra))
+		inj.eng.Schedule(e.Period, tick)
+	}
+	tick()
+}

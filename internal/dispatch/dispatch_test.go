@@ -152,6 +152,54 @@ func TestDispatchWorkerKilledMidShard(t *testing.T) {
 	}
 }
 
+// TestDispatchRobustnessKilledMidShard repeats the kill-mid-shard fault
+// for the robustness campaign: every cell replays a chaos fault schedule,
+// so this pins that reassigned shards re-run their fault injection
+// identically and the merged output still matches the serial run byte for
+// byte.
+func TestDispatchRobustnessKilledMidShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the robustness campaign twice (serial + dispatched)")
+	}
+	data, _, err := exp.RunCampaignShard(exp.CampaignRobustness, testParams(), exp.Unsharded, nil)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	serial, err := exp.MergeShardBlobs([]exp.ShardBlob{{Name: "serial.json", Data: data}})
+	if err != nil {
+		t.Fatalf("serial merge: %v", err)
+	}
+	var want bytes.Buffer
+	serial.Render(&want)
+
+	victim := NewWorker()
+	victim.KillAfterTasks = 1
+	crash := &crashable{h: victim}
+	srvA := httptest.NewServer(crash)
+	t.Cleanup(srvA.Close)
+	victim.Kill = func() {
+		crash.dead.Store(true)
+		srvA.CloseClientConnections()
+	}
+	srvB := startWorker(t, NewWorker())
+
+	opts := fastOpts([]string{addrOf(srvA), addrOf(srvB)})
+	opts.Shards = 2
+	// Robustness cells are k=8 fat-tree runs: seconds each, far slower than
+	// the ablation cells fastOpts is tuned for.
+	opts.StallTimeout = 60 * time.Second
+	res, err := Dispatch(exp.CampaignRobustness, testParams(), opts)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if got := renderResult(t, res); got != want.String() {
+		t.Errorf("robustness output after worker kill diverges from serial:\n--- serial ---\n%s\n--- dispatched ---\n%s", want.String(), got)
+	}
+	if res.Reassigned < 1 {
+		t.Errorf("reassigned = %d, want >= 1 (a worker was killed mid-shard)", res.Reassigned)
+	}
+}
+
 // stallServer accepts any task and then reports zero progress forever — a
 // hung worker with a live TCP stack. done() flips it to 404 so the
 // coordinator's linger poll terminates promptly.

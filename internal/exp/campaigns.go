@@ -101,6 +101,9 @@ var campaignRunners = map[string]func(p RunParams, shard ShardSpec, progress io.
 	CampaignFCT: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
 		return RunFCTShard(p.scaleT(40*sim.Millisecond), shard, p.Jobs, progress)
 	},
+	CampaignRobustness: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+		return RunRobustnessShard(p.scaleT(40*sim.Millisecond), shard, p.Jobs, progress)
+	},
 }
 
 // CampaignNames returns the registered campaign names, sorted.

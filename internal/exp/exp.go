@@ -39,6 +39,7 @@ var (
 	SchemeXMP4  = workload.Scheme{Algorithm: mptcp.AlgXMP, Subflows: 4}
 	SchemeTCP   = workload.Scheme{Algorithm: mptcp.AlgReno, Subflows: 1}
 	SchemeOLIA2 = workload.Scheme{Algorithm: mptcp.AlgOLIA, Subflows: 2}
+	SchemeAMP2  = workload.Scheme{Algorithm: mptcp.AlgAMP, Subflows: 2}
 )
 
 // Table1Schemes is the scheme column of Tables 1 and 3.

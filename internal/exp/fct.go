@@ -13,13 +13,16 @@ import (
 
 // This file is the short-flow FCT campaign: the million-short-flow regime
 // the flow-graph arena exists for. Two bounded-Pareto closed-loop cells
-// (web-search and data-mining size tails) plus one scaled incast burst
-// with ten thousand concurrent senders, all plain-TCP latency traffic on
-// the k=8 fat-tree, reported as flow-completion-time percentiles.
+// (web-search and data-mining size tails) plus a scaled incast burst with
+// ten thousand concurrent senders on the k=8 fat-tree, reported as
+// flow-completion-time percentiles. The burst runs under three transfer
+// schemes — plain TCP, DCTCP and XMP-2 — so the campaign contrasts incast
+// mitigations instead of only demonstrating the collapse.
 
 // FCTPoint is one FCT cell's outcome.
 type FCTPoint struct {
-	// Cell names the workload ("websearch", "datamining", "incast10k").
+	// Cell names the workload ("websearch", "datamining", "incast10k",
+	// "incast-dctcp", "incast-xmp2").
 	Cell string
 	// Launched counts flows started; Flows counts completions measured.
 	Launched int
@@ -128,21 +131,32 @@ func fctCells() []fctCell {
 			pt := fctPoint("datamining", eng, ft, base, &sf.Launched)
 			return pt
 		}},
-		{name: "incast10k", run: func(d sim.Duration) FCTPoint {
-			// The burst is one synchronized round: duration does not gate
-			// it (Rounds does), so the cell's cost is fan-in-driven and
-			// timescale-independent, like the paper's fixed-size jobs.
-			eng, ft, base := fctBase(d)
-			burst := workload.StartIncastBurst(workload.IncastBurstConfig{
-				Config:        base,
-				Senders:       fctSenders,
-				ResponseBytes: 4 << 10,
-				Rounds:        1,
-			})
-			pt := fctPoint("incast10k", eng, ft, base, &burst.Launched)
-			return pt
-		}},
+		// The burst cells are one synchronized round each: duration does
+		// not gate them (Rounds does), so their cost is fan-in-driven and
+		// timescale-independent, like the paper's fixed-size jobs. The
+		// three cells differ only in the senders' transfer scheme.
+		incastCell("incast10k", workload.Scheme{}, false),
+		incastCell("incast-dctcp", SchemeDCTCP, true),
+		incastCell("incast-xmp2", SchemeXMP2, true),
 	}
+}
+
+// incastCell builds one 10k-sender burst cell. useScheme false is the
+// plain-TCP baseline; true runs every sender under scheme — the mitigation
+// axis of the incast comparison.
+func incastCell(name string, scheme workload.Scheme, useScheme bool) fctCell {
+	return fctCell{name: name, run: func(d sim.Duration) FCTPoint {
+		eng, ft, base := fctBase(d)
+		base.Scheme = scheme
+		burst := workload.StartIncastBurst(workload.IncastBurstConfig{
+			Config:        base,
+			Senders:       fctSenders,
+			ResponseBytes: 4 << 10,
+			Rounds:        1,
+			UseScheme:     useScheme,
+		})
+		return fctPoint(name, eng, ft, base, &burst.Launched)
+	}}
 }
 
 // RunFCT runs the whole FCT campaign and returns its cells in order.
@@ -157,7 +171,7 @@ func RunFCTShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.W
 		duration = 40 * sim.Millisecond
 	}
 	cells := fctCells()
-	desc := fmt.Sprintf("fct cells=[websearch datamining incast10k] senders=%d duration=%d", fctSenders, int64(duration))
+	desc := fmt.Sprintf("fct cells=[websearch datamining incast10k incast-dctcp incast-xmp2] senders=%d duration=%d", fctSenders, int64(duration))
 	out := RunShard(len(cells), jobs, shard,
 		func(i int) FCTPoint { return cells[i].run(duration) },
 		func(_ int, p FCTPoint) {
@@ -174,8 +188,8 @@ func RunFCTShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.W
 // comparison). Empty bins render as dashes so the table shape is stable
 // across cells that never produce a size class.
 func RenderFCT(w io.Writer, pts []FCTPoint) {
-	fmt.Fprintln(w, "Flow completion times: bounded-Pareto short flows and a 10k-sender incast burst (plain TCP, k=8 fat-tree)")
-	tb := newTable(w, 12, 9, 9, 11, 11, 11, 11, 9)
+	fmt.Fprintln(w, "Flow completion times: bounded-Pareto short flows and a 10k-sender incast burst under TCP/DCTCP/XMP-2 (k=8 fat-tree)")
+	tb := newTable(w, 14, 9, 9, 11, 11, 11, 11, 9)
 	tb.row("cell", "launched", "flows", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "drops")
 	tb.rule()
 	for _, p := range pts {
@@ -184,7 +198,7 @@ func RenderFCT(w io.Writer, pts []FCTPoint) {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "By flow size (acknowledged bytes at completion)")
-	sb := newTable(w, 12, 10, 9, 11, 11, 11)
+	sb := newTable(w, 14, 10, 9, 11, 11, 11)
 	sb.row("cell", "size", "flows", "p50 ms", "p99 ms", "p999 ms")
 	sb.rule()
 	for _, p := range pts {

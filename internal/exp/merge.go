@@ -16,15 +16,16 @@ import (
 
 // Campaign names, matching the xmpsim subcommands that produce them.
 const (
-	CampaignMatrix   = "matrix"
-	CampaignTable2   = "table2"
-	CampaignParams   = "params"
-	CampaignIncast   = "incastsweep"
-	CampaignSACK     = "sack"
-	CampaignSubflow  = "sweep"
-	CampaignFCT      = "fct"
-	CampaignAblation = "ablation"
-	CampaignVL2      = "vl2"
+	CampaignMatrix     = "matrix"
+	CampaignTable2     = "table2"
+	CampaignParams     = "params"
+	CampaignIncast     = "incastsweep"
+	CampaignSACK       = "sack"
+	CampaignSubflow    = "sweep"
+	CampaignFCT        = "fct"
+	CampaignAblation   = "ablation"
+	CampaignVL2        = "vl2"
+	CampaignRobustness = "robustness"
 )
 
 // ShardFile is one shard's export: the manifest, an optional
@@ -186,6 +187,7 @@ type MergeResult struct {
 	Ablation []AblationResult
 	VL2      []VL2Point
 	FCT      []FCTPoint
+	Robust   []RobustnessPoint
 }
 
 // MergeShardBlobs decodes, validates and reassembles a set of shard files
@@ -227,6 +229,8 @@ func MergeShardBlobs(blobs []ShardBlob) (*MergeResult, error) {
 		res.VL2, err = mergeList[VL2Point](blobs)
 	case CampaignFCT:
 		res.FCT, err = mergeList[FCTPoint](blobs)
+	case CampaignRobustness:
+		res.Robust, err = mergeList[RobustnessPoint](blobs)
 	default:
 		err = fmt.Errorf("%s: unknown campaign %q", blobs[0].Name, peek.Manifest.Campaign)
 	}
@@ -260,6 +264,8 @@ func (r *MergeResult) Render(w io.Writer) {
 		RenderVL2(w, r.VL2)
 	case CampaignFCT:
 		RenderFCT(w, r.FCT)
+	case CampaignRobustness:
+		RenderRobustness(w, r.Robust)
 	}
 }
 

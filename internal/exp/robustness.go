@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xmp/internal/chaos"
+	"xmp/internal/mptcp"
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/transport"
+	"xmp/internal/workload"
+)
+
+// This file is the robustness campaign: every congestion-control scheme
+// under the same deterministic fault schedule on the k=8 fat-tree. Each
+// cell runs the Random large-flow pattern (goodput, under the cell's
+// scheme) alongside a plain-TCP short-flow loop (FCT probes), while the
+// chaos injector replays one canonical script — a core-link flap, a whole
+// aggregation-switch failure, a loss burst, an asymmetric extra-delay
+// window and a jitter window. Faults are calendar events like everything
+// else, so cells shard, dispatch and merge byte-identically to a serial
+// run (pinned by TestGoldenRobustnessViaShards against
+// results_robustness.txt).
+
+// RobustnessPoint is one scheme's outcome under the fault schedule.
+type RobustnessPoint struct {
+	Scheme string
+	// GoodputMbps averages the Random pattern's per-flow goodput — the
+	// large-flow throughput cost of the faults.
+	GoodputMbps float64
+	// Flows counts all completed flows (large + probe).
+	Flows int
+	// Faults counts chaos events applied (sanity: always the full script).
+	Faults int
+	// FCT percentiles over every completion, in milliseconds. Fault-hit
+	// flows recover via RTO, so the tail stretches toward the 200 ms RTOMin.
+	P50Ms, P95Ms, P99Ms, P999Ms float64
+	Drops                       int64
+	// BySize slices the completion times by flow size, indexed by
+	// workload.FCTSizeBin — the "small flows pay the RTO tail" cut.
+	BySize [workload.FCTBins]FCTBinPoint
+}
+
+// robustnessSchemes is the campaign's cell axis: the coupled schemes under
+// test, in table order. AMP-2 is the semi-coupled window-fraction scheme
+// (arXiv 1707.00322) added as a robustness baseline next to XMP.
+var robustnessSchemes = []workload.Scheme{SchemeDCTCP, SchemeLIA2, SchemeOLIA2, SchemeAMP2, SchemeXMP2}
+
+// RobustnessSchedule is the canonical fault script every cell replays.
+// All faults heal before the 40 ms generator stop, so completions drain
+// and goodput compares steady recovery, not truncated flows. Targets name
+// k=8 fat-tree links; event times do not scale with -timescale (the
+// schedule is part of the campaign config, hashed into the manifest).
+func RobustnessSchedule() chaos.Schedule {
+	const ms = sim.Millisecond
+	return chaos.Schedule{
+		Seed: 11,
+		Events: []chaos.Event{
+			{At: 5 * ms, Kind: chaos.LinkDown, Target: "core0.0->agg0.0", Dur: 10 * ms},
+			{At: 8 * ms, Kind: chaos.SwitchDown, Target: "agg1.0", Dur: 8 * ms},
+			{At: 12 * ms, Kind: chaos.LossBurst, Target: "edge0.0->agg0.0", P: 0.02, Dur: 10 * ms},
+			{At: 15 * ms, Kind: chaos.ExtraDelay, Target: "agg2.0->edge2.0", Extra: 150 * sim.Microsecond, Dur: 15 * ms},
+			{At: 20 * ms, Kind: chaos.Jitter, Target: "edge3.0->agg3.0", Extra: 100 * sim.Microsecond, Period: 500 * sim.Microsecond, Dur: 10 * ms},
+		},
+	}
+}
+
+// robustnessFatTree builds the campaign fabric: k=8, every switch queue
+// Lossy-wrapped (inert at p=0) so the loss-burst event has a hook to arm.
+func robustnessFatTree(eng *sim.Engine, lossRNG *sim.RNG) *topo.FatTree {
+	qm := func(ba *netem.BuildArena) netem.Queue {
+		return netem.NewLossy(ba.NewThresholdECN(100, 10), 0, lossRNG)
+	}
+	return topo.NewFatTree(eng, topo.DefaultFatTreeConfig(qm))
+}
+
+func runRobustnessCell(s workload.Scheme, duration sim.Duration) RobustnessPoint {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	ft := robustnessFatTree(eng, rng.Fork(99))
+	col := workload.NewCollector(16)
+	base := workload.Config{
+		Net:       ft,
+		RNG:       rng,
+		Scheme:    s,
+		Transport: transport.DefaultConfig(),
+		Collector: col,
+		Stop:      sim.Time(duration),
+		Arena:     mptcp.NewArena(),
+	}
+	workload.StartRandom(workload.RandomConfig{
+		Config:          base,
+		ParetoMeanBytes: 12 << 20,
+		ParetoMaxBytes:  48 << 20,
+		MaxFlowsPerDst:  4,
+	})
+	workload.StartShortFlows(workload.ShortFlowsConfig{
+		Config:    base,
+		Alpha:     1.1,
+		MeanBytes: 48 << 10,
+		MinBytes:  1 << 10,
+		MaxBytes:  2 << 20,
+		PerHost:   1,
+	})
+	inj, err := chaos.New(ft.Network, RobustnessSchedule())
+	if err != nil {
+		panic(fmt.Sprintf("exp: robustness schedule does not resolve: %v", err))
+	}
+	inj.Install()
+	eng.RunAll(4_000_000_000)
+	p := RobustnessPoint{
+		Scheme:      s.Label(),
+		GoodputMbps: col.Goodput.Mean(),
+		Flows:       col.FlowsCompleted,
+		Faults:      inj.Applied(),
+		P50Ms:       col.FCT.Percentile(50),
+		P95Ms:       col.FCT.Percentile(95),
+		P99Ms:       col.FCT.Percentile(99),
+		P999Ms:      col.FCT.Percentile(99.9),
+	}
+	for i, d := range col.FCTBySize {
+		p.BySize[i] = FCTBinPoint{
+			Flows:  float64(d.N()),
+			P50Ms:  d.Percentile(50),
+			P99Ms:  d.Percentile(99),
+			P999Ms: d.Percentile(99.9),
+		}
+	}
+	for _, li := range ft.Links() {
+		p.Drops += li.Queue().Stats().DroppedPackets
+	}
+	return p
+}
+
+// RunRobustness runs the whole campaign and returns its cells in order.
+func RunRobustness(duration sim.Duration, jobs int, progress io.Writer) []RobustnessPoint {
+	return cellData(RunRobustnessShard(duration, Unsharded, jobs, progress).Cells)
+}
+
+// RunRobustnessShard is the sharded campaign entry behind RunRobustness;
+// cell i is robustnessSchemes[i].
+func RunRobustnessShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.Writer) *ShardFile[RobustnessPoint] {
+	if duration == 0 {
+		duration = 40 * sim.Millisecond
+	}
+	var labels []string
+	for _, s := range robustnessSchemes {
+		labels = append(labels, s.Label())
+	}
+	schedJSON, err := json.Marshal(RobustnessSchedule())
+	if err != nil {
+		panic(fmt.Sprintf("exp: robustness schedule does not marshal: %v", err))
+	}
+	cells := RunShard(len(robustnessSchemes), jobs, shard,
+		func(i int) RobustnessPoint { return runRobustnessCell(robustnessSchemes[i], duration) },
+		func(_ int, p RobustnessPoint) {
+			if progress != nil {
+				fmt.Fprintf(progress, "robustness %-6s goodput=%6.1f Mbps flows=%-5d p99=%8.3fms faults=%d\n",
+					p.Scheme, p.GoodputMbps, p.Flows, p.P99Ms, p.Faults)
+			}
+		})
+	desc := fmt.Sprintf("robustness schemes=%v duration=%d schedule=%s", labels, int64(duration), schedJSON)
+	return &ShardFile[RobustnessPoint]{Manifest: newManifest(CampaignRobustness, desc, shard, len(robustnessSchemes)), Cells: cells}
+}
+
+// RenderRobustness prints the goodput/FCT table, then the per-size-bin
+// slicing, mirroring the FCT campaign's layout.
+func RenderRobustness(w io.Writer, pts []RobustnessPoint) {
+	fmt.Fprintln(w, "Robustness under faults: link flap, switch failure, loss burst, delay and jitter (k=8 fat-tree, identical schedule per scheme)")
+	tb := newTable(w, 10, 16, 8, 8, 11, 11, 11, 11, 9)
+	tb.row("scheme", "goodput(Mbps)", "flows", "faults", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "drops")
+	tb.rule()
+	for _, p := range pts {
+		tb.row(p.Scheme, f1(p.GoodputMbps), fmt.Sprintf("%d", p.Flows), fmt.Sprintf("%d", p.Faults),
+			f3(p.P50Ms), f3(p.P95Ms), f3(p.P99Ms), f3(p.P999Ms), fmt.Sprintf("%d", p.Drops))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "By flow size (acknowledged bytes at completion)")
+	sb := newTable(w, 10, 10, 9, 11, 11, 11)
+	sb.row("scheme", "size", "flows", "p50 ms", "p99 ms", "p999 ms")
+	sb.rule()
+	for _, p := range pts {
+		for i, b := range p.BySize {
+			if b.Flows == 0 {
+				sb.row(p.Scheme, workload.FCTBinLabel(i), "0", "-", "-", "-")
+				continue
+			}
+			sb.row(p.Scheme, workload.FCTBinLabel(i), fmt.Sprintf("%.0f", b.Flows),
+				f3(b.P50Ms), f3(b.P99Ms), f3(b.P999Ms))
+		}
+	}
+}

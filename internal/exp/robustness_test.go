@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"xmp/internal/sim"
+)
+
+// TestGoldenRobustnessViaShards regenerates the robustness campaign
+// through the sharded path — four shards, as CI runs it — merges the
+// exports and diffs the rendered tables against the checked-in golden.
+// Passing pins both the fault-schedule determinism (every cell replays
+// the same chaos script) and shard/merge byte-identity with faults
+// active.
+func TestGoldenRobustnessViaShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full robustness campaign (~seconds per shard set)")
+	}
+	golden, err := os.ReadFile("../../results_robustness.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*ShardFile[RobustnessPoint], 4)
+	for i := range files {
+		files[i] = RunRobustnessShard(0, ShardSpec{Index: i, Count: 4}, 0, nil)
+	}
+	res, err := MergeShardBlobs(encodeBlobs(t, files))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var got bytes.Buffer
+	res.Render(&got)
+	diffLines(t, "results_robustness.txt", stripTrailer(string(golden)), stripTrailer(got.String()))
+}
+
+// TestRobustnessFaultsBite runs one cell with and without the injector
+// and checks the schedule actually perturbs the run: all faults applied,
+// and the fault-free variant produces different numbers.
+func TestRobustnessFaultsBite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a k=8 robustness cell")
+	}
+	pt := runRobustnessCell(SchemeXMP2, 40*sim.Millisecond)
+	if pt.Faults != len(RobustnessSchedule().Events) {
+		t.Errorf("applied %d of %d fault events", pt.Faults, len(RobustnessSchedule().Events))
+	}
+	if pt.Flows == 0 || pt.GoodputMbps <= 0 {
+		t.Errorf("cell produced no traffic: %+v", pt)
+	}
+	if pt.P999Ms <= 0 {
+		t.Errorf("implausible FCT tail: p999=%v", pt.P999Ms)
+	}
+}

@@ -29,6 +29,10 @@ const (
 	AlgXMP Algorithm = iota
 	AlgLIA
 	AlgOLIA
+	// AlgAMP is the Adaptive Multi-Path controller of arXiv 1707.00322:
+	// ECN-driven like DCTCP but cutting by the instantaneous per-window
+	// marked fraction, with a semi-coupled increase (see cc.AMP).
+	AlgAMP
 	// AlgUncoupledBOS runs BOS with a fixed δ=1 on every subflow — no
 	// TraSh coupling. Ablation for the fairness experiments.
 	AlgUncoupledBOS
@@ -46,6 +50,8 @@ func (a Algorithm) String() string {
 		return "LIA"
 	case AlgOLIA:
 		return "OLIA"
+	case AlgAMP:
+		return "AMP"
 	case AlgUncoupledBOS:
 		return "BOS-uncoupled"
 	case AlgDCTCP:
@@ -62,7 +68,7 @@ func (a Algorithm) String() string {
 // Multipath reports whether the algorithm supports more than one subflow.
 func (a Algorithm) Multipath() bool {
 	switch a {
-	case AlgXMP, AlgLIA, AlgOLIA, AlgUncoupledBOS:
+	case AlgXMP, AlgLIA, AlgOLIA, AlgAMP, AlgUncoupledBOS:
 		return true
 	default:
 		return false
@@ -74,7 +80,7 @@ func (a Algorithm) EchoMode() cc.EchoMode {
 	switch a {
 	case AlgXMP, AlgUncoupledBOS:
 		return cc.EchoCounter
-	case AlgDCTCP:
+	case AlgDCTCP, AlgAMP:
 		return cc.EchoDCTCP
 	case AlgRenoECN:
 		return cc.EchoStandard
@@ -248,6 +254,8 @@ func initFlow(f *Flow, eng *sim.Engine, opts Options) {
 			ctrl = NewLIA(icw, f.group, member)
 		case AlgOLIA:
 			ctrl = NewOLIA(icw, f.group, member)
+		case AlgAMP:
+			ctrl = cc.NewAMP(icw, f.group, member)
 		case AlgDCTCP:
 			ctrl = cc.NewDCTCP(icw, cc.DefaultG)
 		case AlgRenoECN:

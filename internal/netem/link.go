@@ -47,6 +47,12 @@ type Link struct {
 	busy     bool
 	down     bool
 
+	// extraDelay is added to the propagation delay of every delivery
+	// scheduled while it is set — the chaos layer's asymmetric-delay and
+	// jitter hook. Packets already propagating keep the delay they were
+	// scheduled with.
+	extraDelay sim.Duration
+
 	// txRun/deliverRun memoize the calendar bucket of this link's last
 	// serialization-done and propagation-delivery events. Back-to-back
 	// transmissions whose deadlines land in the same 256 ns bucket are
@@ -160,7 +166,7 @@ func (l *Link) finishTransmit(p *Packet) {
 	l.txBytes += int64(p.WireBytes)
 	l.txPackets++
 	if !l.down {
-		l.eng.ScheduleTargetRun(&l.deliverRun, l.delay, l, opDeliver, p)
+		l.eng.ScheduleTargetRun(&l.deliverRun, l.delay+l.extraDelay, l, opDeliver, p)
 	} else {
 		p.Release() // serialized into a dead link
 	}
@@ -195,6 +201,21 @@ func (l *Link) Capacity() Bps { return l.capacity }
 
 // Delay returns the one-way propagation delay.
 func (l *Link) Delay() sim.Duration { return l.delay }
+
+// ExtraDelay returns the additional propagation delay currently injected.
+func (l *Link) ExtraDelay() sim.Duration { return l.extraDelay }
+
+// SetExtraDelay adds d (≥ 0) to the propagation delay of subsequent
+// deliveries. Lowering it mid-run can reorder in-flight packets — a packet
+// serialized later arrives first — which is exactly the artifact real
+// delay emulation produces and the reordering regime the chaos campaigns
+// want to exercise.
+func (l *Link) SetExtraDelay(d sim.Duration) {
+	if d < 0 {
+		panic("netem: extra delay must be non-negative")
+	}
+	l.extraDelay = d
+}
 
 // Queue exposes the attached queue discipline.
 func (l *Link) Queue() Queue { return l.queue }

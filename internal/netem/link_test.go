@@ -117,6 +117,113 @@ func TestLinkSetDown(t *testing.T) {
 	}
 }
 
+func TestLinkSetDownDropsQueueAndInFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	// 12 us serialization per packet, 50 us propagation: at t=30us packet 2
+	// is still serializing and packet 0 is propagating.
+	l := NewLink(eng, "l", Gbps, 50*sim.Microsecond, NewDropTail(100), s)
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			l.Send(dataPkt(false))
+		}
+	})
+	eng.Schedule(30*sim.Microsecond, func() {
+		if l.Queue().Len() == 0 {
+			t.Fatal("queue already empty; down would not exercise the drain")
+		}
+		l.SetDown(true)
+		// The queue is drained synchronously: nothing left to transmit.
+		if got := l.Queue().Len(); got != 0 {
+			t.Fatalf("queue holds %d packets after SetDown", got)
+		}
+	})
+	eng.Run(sim.MaxTime)
+	// Packets 0 and 1 finished serializing before t=30us and propagate to
+	// delivery; packet 2 was mid-serialization and is released into the
+	// dead link; 3..9 were drained from the queue. Nothing is re-queued.
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivered %d packets, want 2 (pre-down serializations only)", len(s.pkts))
+	}
+}
+
+func TestLinkSetDownUpCycle(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Gbps, 10*sim.Microsecond, NewDropTail(100), s)
+	eng.Schedule(0, func() { l.SetDown(true) })
+	eng.Schedule(sim.Microsecond, func() { l.Send(dataPkt(false)) }) // dropped: down
+	eng.Schedule(2*sim.Microsecond, func() { l.SetDown(false) })
+	eng.Schedule(3*sim.Microsecond, func() { l.Send(dataPkt(false)) })
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1 (only the post-up send)", len(s.pkts))
+	}
+	// 3us send + 12us serialization + 10us propagation.
+	if want := sim.Time(25 * sim.Microsecond); s.at[0] != want {
+		t.Fatalf("delivered at %v, want %v", s.at[0], want)
+	}
+	if l.Down() {
+		t.Fatal("link still reported down after SetDown(false)")
+	}
+}
+
+func TestLinkExtraDelayAppliesToNewDeliveries(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	l := NewLink(eng, "l", Gbps, 20*sim.Microsecond, NewDropTail(100), s)
+	eng.Schedule(0, func() { l.Send(dataPkt(false)) })
+	// Armed while the first packet propagates: it keeps its original delay.
+	eng.Schedule(15*sim.Microsecond, func() { l.SetExtraDelay(100 * sim.Microsecond) })
+	eng.Schedule(40*sim.Microsecond, func() { l.Send(dataPkt(false)) })
+	// Disarmed: the third packet is back to the base delay.
+	eng.Schedule(200*sim.Microsecond, func() { l.SetExtraDelay(0) })
+	eng.Schedule(210*sim.Microsecond, func() { l.Send(dataPkt(false)) })
+	eng.Run(sim.MaxTime)
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(s.pkts))
+	}
+	want := []sim.Time{
+		sim.Time(32 * sim.Microsecond),  // 12 tx + 20 prop, extra not yet armed at tx-done
+		sim.Time(172 * sim.Microsecond), // 40 + 12 tx + 20 prop + 100 extra
+		sim.Time(242 * sim.Microsecond), // 210 + 12 tx + 20 prop
+	}
+	for i, w := range want {
+		if s.at[i] != w {
+			t.Fatalf("packet %d delivered at %v, want %v", i, s.at[i], w)
+		}
+	}
+	if l.ExtraDelay() != 0 {
+		t.Fatalf("extra delay %v after disarm", l.ExtraDelay())
+	}
+}
+
+func TestLinkExtraDelayValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, "l", Gbps, 0, NewDropTail(1), &sink{eng: eng})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative extra delay did not panic")
+		}
+	}()
+	l.SetExtraDelay(-sim.Microsecond)
+}
+
+func TestSwitchEgressLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &sink{eng: eng}
+	sw := NewSwitch(1, "sw", "rack")
+	a := NewLink(eng, "a", Gbps, 0, NewDropTail(1), s)
+	b := NewLink(eng, "b", Gbps, 0, NewDropTail(1), s)
+	sw.AddRoute(1, a)
+	sw.AddRoute(2, b)
+	sw.AddRoute(3, a) // same link twice: must dedupe
+	links := sw.EgressLinks()
+	if len(links) != 2 || links[0] != a || links[1] != b {
+		t.Fatalf("EgressLinks = %v, want [a b]", links)
+	}
+}
+
 func TestLinkUtilization(t *testing.T) {
 	eng := sim.NewEngine()
 	s := &sink{eng: eng}

@@ -56,3 +56,16 @@ func (q *Lossy) Stats() QueueStats {
 
 // Injected returns the number of randomly dropped packets.
 func (q *Lossy) Injected() int64 { return q.injected }
+
+// P returns the current drop probability.
+func (q *Lossy) P() float64 { return q.p }
+
+// SetP re-arms the drop probability mid-run (the chaos layer's loss-burst
+// hook). Packets already queued are unaffected; only arrivals after the
+// call see the new probability. p must be in [0, 1).
+func (q *Lossy) SetP(p float64) {
+	if p < 0 || p >= 1 {
+		panic("netem: loss probability out of [0,1)")
+	}
+	q.p = p
+}

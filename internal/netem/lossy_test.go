@@ -49,6 +49,51 @@ func TestLossyStatsCombineInnerDrops(t *testing.T) {
 	}
 }
 
+func TestLossySetPRearmsMidRun(t *testing.T) {
+	q := NewLossy(NewDropTail(1_000_000), 0, sim.NewRNG(7))
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, dataPkt(false))
+	}
+	if q.Injected() != 0 {
+		t.Fatalf("injected %d drops at p=0", q.Injected())
+	}
+	// Arm a burst: the same wrapper starts dropping without being rebuilt.
+	q.SetP(0.5)
+	if q.P() != 0.5 {
+		t.Fatalf("P() = %v after SetP(0.5)", q.P())
+	}
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, dataPkt(false))
+	}
+	burst := q.Injected()
+	if frac := float64(burst) / n; frac < 0.48 || frac > 0.52 {
+		t.Fatalf("burst drop fraction %.3f, want ~0.5", frac)
+	}
+	// Disarm: drops stop, the counter keeps its history.
+	q.SetP(0)
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, dataPkt(false))
+	}
+	if q.Injected() != burst {
+		t.Fatalf("injected %d after disarm, want %d", q.Injected(), burst)
+	}
+}
+
+func TestLossySetPValidation(t *testing.T) {
+	q := NewLossy(NewDropTail(1), 0, sim.NewRNG(1))
+	for name, p := range map[string]float64{"p=1": 1, "p<0": -0.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetP(%s) did not panic", name)
+				}
+			}()
+			q.SetP(p)
+		}()
+	}
+}
+
 func TestLossyValidation(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"p=1":       func() { NewLossy(NewDropTail(1), 1, sim.NewRNG(1)) },

@@ -78,6 +78,22 @@ func (s *Switch) Route(dst Addr) *Link {
 	return s.table[dst]
 }
 
+// EgressLinks returns the distinct egress links installed in the
+// forwarding table, in first-install order. The chaos layer uses it to
+// fail a whole switch by downing every attached link. Allocates; not for
+// per-packet paths.
+func (s *Switch) EgressLinks() []*Link {
+	var out []*Link
+	seen := make(map[*Link]bool, 8)
+	for _, l := range s.table {
+		if l != nil && !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
 // Receive implements Receiver: look up the egress and forward. Packets
 // dropped here (unroutable, TTL expiry) leave the simulation and are
 // released to their pool.

@@ -372,6 +372,12 @@ type IncastBurstConfig struct {
 	// Rounds of bursts to run back-to-back (default 1); a new round starts
 	// only when the previous one fully completes and Now < Stop.
 	Rounds int
+	// UseScheme switches the senders from plain TCP to Config.Scheme (via
+	// LaunchFlow) — the mitigation axis: the same synchronized fan-in under
+	// TCP, DCTCP or a multipath coupler. An explicit flag rather than a
+	// Scheme-field check because the Scheme zero value is a valid scheme
+	// (AlgXMP), and "unset means plain TCP" must stay expressible.
+	UseScheme bool
 }
 
 // IncastBurst is a running burst generator.
@@ -442,6 +448,10 @@ func (b *IncastBurst) round() {
 	for i := range b.senders {
 		s := &b.senders[i]
 		b.Launched++
-		launchSmallTCP(&cfg.Config, s.src, cfg.Client, cfg.ResponseBytes, s.onDone)
+		if cfg.UseScheme {
+			LaunchFlow(&cfg.Config, s.src, cfg.Client, cfg.ResponseBytes, s.onDone)
+		} else {
+			launchSmallTCP(&cfg.Config, s.src, cfg.Client, cfg.ResponseBytes, s.onDone)
+		}
 	}
 }
