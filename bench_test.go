@@ -16,6 +16,7 @@ import (
 	"xmp/internal/exp"
 	"xmp/internal/mptcp"
 	"xmp/internal/netem"
+	"xmp/internal/scenario"
 	"xmp/internal/sim"
 	"xmp/internal/topo"
 	"xmp/internal/transport"
@@ -536,4 +537,44 @@ func BenchmarkIncastCell(b *testing.B) {
 	}
 	b.ReportMetric(fct, "fct-p99-ms")
 	b.ReportMetric(drops, "drops")
+}
+
+// BenchmarkScenarioCompile prices the declarative path's overhead: parse a
+// multi-axis spec (every axis populated: topology, scale, workload mix,
+// scheme list, seeds, inline chaos, metrics), validate it, resolve every
+// default and enumerate the cells. This runs once per xmpsim invocation
+// and per dispatch task, so it must stay trivially cheap next to even one
+// simulated cell.
+func BenchmarkScenarioCompile(b *testing.B) {
+	spec := []byte(`{
+		"name": "bench",
+		"family": "robustness",
+		"topology": {"kind": "fattree", "k": 8, "queue_limit": 100, "mark_threshold": 10, "lossy": true},
+		"scale": {"timescale": 2, "sizescale": 16, "seed": 1},
+		"workloads": [
+			{"kind": "random", "mean_bytes": 12582912, "max_bytes": 50331648},
+			{"kind": "shortflows", "alpha": 1.1, "per_host": 2}
+		],
+		"schemes": ["DCTCP", "LIA-2", "OLIA-2", "AMP-2", "XMP-2", "XMP-4/b6"],
+		"seeds": [1, 2, 3, 4],
+		"chaos": {"seed": 11, "events": [
+			{"at": 5000000, "kind": "link-down", "target": "core0.0->agg0.0", "dur": 10000000},
+			{"at": 8000000, "kind": "switch-down", "target": "agg1.0", "dur": 8000000},
+			{"at": 12000000, "kind": "loss-burst", "target": "edge0.0->agg0.0", "dur": 10000000, "p": 0.02}
+		]},
+		"metrics": ["summary", "by-size"]
+	}`)
+	var cells int
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := scenario.Compile(s, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = c.Cells()
+	}
+	b.ReportMetric(float64(cells), "cells")
 }

@@ -23,6 +23,7 @@ import (
 
 	"xmp/internal/dispatch"
 	"xmp/internal/exp"
+	"xmp/internal/scenario"
 	"xmp/internal/sim"
 )
 
@@ -53,13 +54,19 @@ Subcommands:
   robustness  scheme comparison under a deterministic fault schedule (link
             flap, switch failure, loss burst, delay, jitter)
   all       everything above
+  run       execute a declarative scenario spec (xmpsim run [flags] FILE.json);
+            -validate dry-runs it (parse, validate, resolve chaos targets,
+            print the cell enumeration and config hash)
+  campaigns list registered campaigns (cells, config hash, description);
+            scenario spec files named as arguments are compiled and listed too
   merge     reassemble per-shard -json exports into the full campaign output
   worker    serve the shard-task API for "xmpsim dispatch" (-listen :port)
   dispatch  run a campaign across workers (-workers h:p,h:p -campaign NAME
-            -shards N); with no -workers, spawns -local N local workers
+            -shards N); with no -workers, spawns -local N local workers;
+            -campaign FILE.json dispatches a declarative scenario
 
 Campaign subcommands (matrix, table2, ablation, sweep, params,
-incastsweep, sack, vl2, fct, robustness) accept -shard i/n to run only the cells owned by
+incastsweep, sack, vl2, fct, robustness) and "run" accept -shard i/n to run only the cells owned by
 shard i of n; the shard file written by -json is the output, and
 "xmpsim merge shard-*.json" rebuilds tables byte-identical to an
 unsharded run. merge also accepts glob patterns and directories (every
@@ -163,6 +170,14 @@ func main() {
 
 	stopProfiling := startProfiling()
 	start := time.Now()
+	// run manages -shard itself (its campaign comes from the spec file, not
+	// the subcommand name), so it bypasses the shardSpec dispatch below.
+	if cmd == "run" {
+		runRun()
+		stopProfiling()
+		fmt.Fprintf(os.Stderr, "\n[%s completed in %v]\n", cmd, time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if spec, sharded := shardSpec(cmd); sharded {
 		runShardCampaign(cmd, spec)
 		stopProfiling()
@@ -198,6 +213,8 @@ func main() {
 		exp.RenderFCT(os.Stdout, exp.RunFCT(scaleT(40*sim.Millisecond), *jobs, progress()))
 	case "robustness":
 		exp.RenderRobustness(os.Stdout, exp.RunRobustness(scaleT(40*sim.Millisecond), *jobs, progress()))
+	case "campaigns":
+		runCampaigns()
 	case "merge":
 		runMerge()
 	case "worker":
@@ -440,8 +457,22 @@ func runWorker() {
 // spawns -local worker subprocesses of this same binary.
 func runDispatch() {
 	if *campaignName == "" {
-		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct, robustness)")
+		fmt.Fprintln(os.Stderr, "xmpsim dispatch: -campaign is required (one of matrix, table2, ablation, sweep, params, incastsweep, sack, vl2, fct, robustness, or a scenario FILE.json)")
 		os.Exit(2)
+	}
+	name := *campaignName
+	params := campaignParams()
+	if strings.HasSuffix(name, ".json") {
+		// A scenario spec: compile it here and ship the resolved spec
+		// inline, so workers need no access to the file (or to any chaos
+		// schedule it references).
+		c, err := scenario.CompileFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmpsim dispatch: %v\n", err)
+			os.Exit(1)
+		}
+		name = exp.CampaignScenario
+		params.Scenario = c.JSON
 	}
 	var workers []string
 	for _, w := range strings.Split(*workersStr, ",") {
@@ -464,7 +495,7 @@ func runDispatch() {
 		defer stop()
 		fmt.Fprintf(os.Stderr, "xmpsim dispatch: spawned %d local workers: %s\n", len(workers), strings.Join(workers, ", "))
 	}
-	res, err := dispatch.Dispatch(*campaignName, campaignParams(), dispatch.Options{
+	res, err := dispatch.Dispatch(name, params, dispatch.Options{
 		Workers:      workers,
 		Shards:       *shardCount,
 		TaskTimeout:  *taskTimeout,

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -27,7 +28,19 @@ type RunParams struct {
 	Seed      int64   `json:"seed,omitempty"`
 	K         int     `json:"k,omitempty"`
 	Jobs      int     `json:"jobs,omitempty"`
+	// Scenario, when non-empty, is a fully-resolved declarative scenario
+	// spec (internal/scenario) and is the entire configuration of the
+	// CampaignScenario runner, which ignores the scalar knobs above except
+	// Jobs. Carrying the spec inline is what lets a dispatch coordinator
+	// ship a scenario to workers that have no access to the spec file.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 }
+
+// CampaignScenario is the registry name of the declarative scenario
+// runner; the compiled spec rides in RunParams.Scenario. It is registered
+// by internal/scenario's init, so it exists in any binary that imports
+// that package (cmd/xmpsim does).
+const CampaignScenario = "scenario"
 
 // WithDefaults resolves zero fields to the xmpsim flag defaults.
 func (p RunParams) WithDefaults() RunParams {
@@ -50,19 +63,45 @@ func (p RunParams) scaleT(d sim.Duration) sim.Duration {
 	return sim.Duration(float64(d) * p.Timescale)
 }
 
-// shardEncoder is what every Run*Shard runner returns: a shard file that
+// ShardEncoder is what every Run*Shard runner returns: a shard file that
 // can report its manifest and encode itself.
-type shardEncoder interface {
+type ShardEncoder interface {
 	ShardManifest() ShardManifest
 	Encode(io.Writer) error
+}
+
+// CampaignRunner executes one shard of a campaign shaped by p. It is the
+// uniform signature behind the registry: the built-in campaigns never
+// fail (their params cannot be malformed), but registered extensions —
+// the declarative scenario runner — must be able to reject a bad spec
+// without panicking a worker process.
+type CampaignRunner func(p RunParams, shard ShardSpec, progress io.Writer) (ShardEncoder, error)
+
+// infallible adapts the built-in runners, whose construction cannot fail.
+func infallible(run func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder) CampaignRunner {
+	return func(p RunParams, shard ShardSpec, progress io.Writer) (ShardEncoder, error) {
+		return run(p, shard, progress), nil
+	}
+}
+
+// RegisterCampaign adds a runner under name, making it reachable by every
+// layer that resolves campaigns by string — the xmpsim subcommand path,
+// CampaignProbe, and the dispatch workers. Registering a duplicate name
+// panics: two runners answering to one name would hash different configs
+// under the same key and poison every manifest check downstream.
+func RegisterCampaign(name string, run CampaignRunner) {
+	if _, dup := campaignRunners[name]; dup {
+		panic(fmt.Sprintf("exp: campaign %q registered twice", name))
+	}
+	campaignRunners[name] = run
 }
 
 // campaignRunners maps campaign names to their shard runners. Each entry
 // mirrors the corresponding xmpsim subcommand's flag handling; changing
 // one without the other shifts the config hash and makes merges refuse the
 // mix, so drift fails loudly rather than silently.
-var campaignRunners = map[string]func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder{
-	CampaignMatrix: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+var campaignRunners = map[string]CampaignRunner{
+	CampaignMatrix: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		base := FatTreeConfig{K: p.K, SizeScale: p.SizeScale, Seed: p.Seed}
 		if p.Timescale != 1 {
 			// Durations default per pattern inside RunFatTree; apply the
@@ -70,8 +109,8 @@ var campaignRunners = map[string]func(p RunParams, shard ShardSpec, progress io.
 			base.Duration = p.scaleT(200 * sim.Millisecond)
 		}
 		return RunMatrixShard(base, MatrixPatterns, Table1Schemes, shard, p.Jobs, progress)
-	},
-	CampaignTable2: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignTable2: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunTable2Campaign(Table2Config{
 			KAry:      p.K,
 			SizeScale: p.SizeScale,
@@ -79,31 +118,31 @@ var campaignRunners = map[string]func(p RunParams, shard ShardSpec, progress io.
 			Duration:  p.scaleT(200 * sim.Millisecond),
 			Jobs:      p.Jobs,
 		}, shard, progress)
-	},
-	CampaignAblation: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignAblation: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunAblationsShard(10, shard, p.Jobs, progress)
-	},
-	CampaignSubflow: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignSubflow: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunSubflowSweepShard(nil, p.scaleT(50*sim.Millisecond), shard, p.Jobs, progress)
-	},
-	CampaignParams: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignParams: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunParamSweepShard(nil, nil, p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
-	},
-	CampaignIncast: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignIncast: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunIncastSweepShard(nil, p.scaleT(200*sim.Millisecond), shard, p.Jobs, progress)
-	},
-	CampaignSACK: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignSACK: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunSACKAblationShard(p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
-	},
-	CampaignVL2: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignVL2: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunVL2ComparisonShard(nil, p.scaleT(100*sim.Millisecond), shard, p.Jobs, progress)
-	},
-	CampaignFCT: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignFCT: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunFCTShard(p.scaleT(40*sim.Millisecond), shard, p.Jobs, progress)
-	},
-	CampaignRobustness: func(p RunParams, shard ShardSpec, progress io.Writer) shardEncoder {
+	}),
+	CampaignRobustness: infallible(func(p RunParams, shard ShardSpec, progress io.Writer) ShardEncoder {
 		return RunRobustnessShard(p.scaleT(40*sim.Millisecond), shard, p.Jobs, progress)
-	},
+	}),
 }
 
 // CampaignNames returns the registered campaign names, sorted.
@@ -133,7 +172,11 @@ func CampaignProbe(name string, p RunParams) (desc, hash string, cells int, err 
 	if !ok {
 		return "", "", 0, fmt.Errorf("unknown campaign %q (have %v)", name, CampaignNames())
 	}
-	m := run(p.WithDefaults(), probeSpec, nil).ShardManifest()
+	enc, err := run(p.WithDefaults(), probeSpec, nil)
+	if err != nil {
+		return "", "", 0, err
+	}
+	m := enc.ShardManifest()
 	return m.Config, m.ConfigHash, m.TotalCells, nil
 }
 
@@ -149,7 +192,10 @@ func RunCampaignShard(name string, p RunParams, shard ShardSpec, progress io.Wri
 	if err := shard.Validate(); err != nil {
 		return nil, ShardManifest{}, err
 	}
-	f := run(p.WithDefaults(), shard, progress)
+	f, err := run(p.WithDefaults(), shard, progress)
+	if err != nil {
+		return nil, ShardManifest{}, err
+	}
 	var buf bytes.Buffer
 	if err := f.Encode(&buf); err != nil {
 		return nil, ShardManifest{}, err

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -9,14 +10,16 @@ import (
 )
 
 func TestRunParamsWithDefaults(t *testing.T) {
+	// RunParams carries a json.RawMessage and so is not ==-comparable;
+	// reflect.DeepEqual covers the scalar fields the same way.
 	got := RunParams{}.WithDefaults()
 	want := RunParams{Timescale: 1, SizeScale: 16, Seed: 1, K: 8}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("WithDefaults() = %+v, want %+v", got, want)
 	}
 	// Explicit values survive.
 	set := RunParams{Timescale: 0.5, SizeScale: 8, Seed: 3, K: 4, Jobs: 2}
-	if got := set.WithDefaults(); got != set {
+	if got := set.WithDefaults(); !reflect.DeepEqual(got, set) {
 		t.Fatalf("WithDefaults() clobbered explicit values: %+v", got)
 	}
 }

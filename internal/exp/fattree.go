@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"xmp/internal/chaos"
 	"xmp/internal/metrics"
 	"xmp/internal/mptcp"
 	"xmp/internal/sim"
@@ -41,6 +42,13 @@ type FatTreeConfig struct {
 	Seed      int64
 	// RTTStride subsamples RTT measurements (default 4).
 	RTTStride int
+	// Chaos, when non-nil, is a fault schedule installed on the fabric
+	// before the run (declarative scenarios route it here). nil leaves the
+	// run byte-identical to the pre-chaos code path; omitempty keeps it
+	// out of the serialized cell config for the same reason. Loss-burst
+	// events cannot resolve here — this fabric's queues are plain
+	// ThresholdECN, not Lossy-wrapped.
+	Chaos *chaos.Schedule `json:"Chaos,omitempty"`
 }
 
 func (c *FatTreeConfig) defaults() {
@@ -136,6 +144,14 @@ func RunFatTree(cfg FatTreeConfig) *FatTreeResult {
 		})
 	default:
 		panic(fmt.Sprintf("exp: unknown pattern %q", cfg.Pattern))
+	}
+
+	if cfg.Chaos != nil {
+		inj, err := chaos.New(ft.Network, *cfg.Chaos)
+		if err != nil {
+			panic(fmt.Sprintf("exp: chaos schedule does not resolve: %v", err))
+		}
+		inj.Install()
 	}
 
 	events := eng.RunAll(4_000_000_000)

@@ -52,23 +52,6 @@ type fctCell struct {
 	run  func(duration sim.Duration) FCTPoint
 }
 
-// fctBase assembles the shared fabric: k=8 fat-tree, ECN switches at the
-// matrix defaults, and an arena so steady-state short-flow launch recycles
-// the whole flow graph instead of allocating it.
-func fctBase(duration sim.Duration) (*sim.Engine, *topo.FatTree, workload.Config) {
-	eng := sim.NewEngine()
-	ft := topo.NewFatTree(eng, topo.DefaultFatTreeConfig(topo.ECNMaker(100, 10)))
-	base := workload.Config{
-		Net:       ft,
-		RNG:       sim.NewRNG(1),
-		Transport: transport.DefaultConfig(),
-		Collector: workload.NewCollector(16),
-		Stop:      sim.Time(duration),
-		Arena:     mptcp.NewArena(),
-	}
-	return eng, ft, base
-}
-
 // fctPoint runs the engine dry and folds the collector into a point.
 // launched is read only after the run, when the generator's closed loops
 // have stopped relaunching.
@@ -98,39 +81,98 @@ func fctPoint(name string, eng *sim.Engine, ft *topo.FatTree, base workload.Conf
 	return p
 }
 
+// FCTCellConfig parameterizes one short-flow cell: a fat-tree, a scheme,
+// and exactly one generator — a bounded-Pareto closed loop (Short) or a
+// synchronized incast burst (Incast). Both the built-in fct campaign and
+// the declarative scenario compiler lower onto RunFCTCell.
+type FCTCellConfig struct {
+	Name     string
+	Duration sim.Duration // simulated horizon; 0 means 40 ms
+	Seed     int64        // cell RNG seed; 0 means 1
+	// Fat-tree shape; zero fields mean the campaign defaults (8, 10, 100).
+	K, MarkThreshold, QueueLimit int
+	// Scheme is the base transfer scheme. Short-flow loops always run it;
+	// incast senders use it only when Incast.UseScheme is set (matching
+	// the built-in cells' plain-TCP baseline).
+	Scheme workload.Scheme
+	// Exactly one of Short / Incast must be non-nil; its embedded
+	// workload.Config is overwritten with the cell's.
+	Short  *workload.ShortFlowsConfig
+	Incast *workload.IncastBurstConfig
+}
+
+// RunFCTCell runs one parameterized short-flow cell.
+func RunFCTCell(cfg FCTCellConfig) FCTPoint {
+	if cfg.Duration == 0 {
+		cfg.Duration = 40 * sim.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.K == 0 {
+		cfg.K = 8
+	}
+	if cfg.MarkThreshold == 0 {
+		cfg.MarkThreshold = 10
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = 100
+	}
+	eng := sim.NewEngine()
+	tc := topo.DefaultFatTreeConfig(topo.ECNMaker(cfg.QueueLimit, cfg.MarkThreshold))
+	tc.K = cfg.K
+	ft := topo.NewFatTree(eng, tc)
+	base := workload.Config{
+		Net:       ft,
+		RNG:       sim.NewRNG(cfg.Seed),
+		Scheme:    cfg.Scheme,
+		Transport: transport.DefaultConfig(),
+		Collector: workload.NewCollector(16),
+		Stop:      sim.Time(cfg.Duration),
+		Arena:     mptcp.NewArena(),
+	}
+	var launched *int
+	switch {
+	case cfg.Short != nil && cfg.Incast == nil:
+		s := *cfg.Short
+		s.Config = base
+		launched = &workload.StartShortFlows(s).Launched
+	case cfg.Incast != nil && cfg.Short == nil:
+		b := *cfg.Incast
+		b.Config = base
+		launched = &workload.StartIncastBurst(b).Launched
+	default:
+		panic("exp: FCTCellConfig wants exactly one of Short / Incast")
+	}
+	return fctPoint(cfg.Name, eng, ft, base, launched)
+}
+
 // fctCells returns the campaign's cells. The Pareto parameters sketch the
 // published DCN traces at the simulator's reduced scale: the web-search
 // tail is mostly tens of kilobytes with a bounded heavy tail, the
 // data-mining tail is an order of magnitude heavier in both mean and
 // bound.
 func fctCells() []fctCell {
+	shortCell := func(name string, short workload.ShortFlowsConfig) fctCell {
+		return fctCell{name: name, run: func(d sim.Duration) FCTPoint {
+			return RunFCTCell(FCTCellConfig{Name: name, Duration: d, Short: &short})
+		}}
+	}
 	return []fctCell{
-		{name: "websearch", run: func(d sim.Duration) FCTPoint {
-			eng, ft, base := fctBase(d)
-			sf := workload.StartShortFlows(workload.ShortFlowsConfig{
-				Config:    base,
-				Alpha:     1.1,
-				MeanBytes: 48 << 10,
-				MinBytes:  1 << 10,
-				MaxBytes:  2 << 20,
-				PerHost:   4,
-			})
-			pt := fctPoint("websearch", eng, ft, base, &sf.Launched)
-			return pt
-		}},
-		{name: "datamining", run: func(d sim.Duration) FCTPoint {
-			eng, ft, base := fctBase(d)
-			sf := workload.StartShortFlows(workload.ShortFlowsConfig{
-				Config:    base,
-				Alpha:     1.05,
-				MeanBytes: 256 << 10,
-				MinBytes:  1 << 10,
-				MaxBytes:  16 << 20,
-				PerHost:   2,
-			})
-			pt := fctPoint("datamining", eng, ft, base, &sf.Launched)
-			return pt
-		}},
+		shortCell("websearch", workload.ShortFlowsConfig{
+			Alpha:     1.1,
+			MeanBytes: 48 << 10,
+			MinBytes:  1 << 10,
+			MaxBytes:  2 << 20,
+			PerHost:   4,
+		}),
+		shortCell("datamining", workload.ShortFlowsConfig{
+			Alpha:     1.05,
+			MeanBytes: 256 << 10,
+			MinBytes:  1 << 10,
+			MaxBytes:  16 << 20,
+			PerHost:   2,
+		}),
 		// The burst cells are one synchronized round each: duration does
 		// not gate them (Rounds does), so their cost is fan-in-driven and
 		// timescale-independent, like the paper's fixed-size jobs. The
@@ -146,16 +188,12 @@ func fctCells() []fctCell {
 // axis of the incast comparison.
 func incastCell(name string, scheme workload.Scheme, useScheme bool) fctCell {
 	return fctCell{name: name, run: func(d sim.Duration) FCTPoint {
-		eng, ft, base := fctBase(d)
-		base.Scheme = scheme
-		burst := workload.StartIncastBurst(workload.IncastBurstConfig{
-			Config:        base,
+		return RunFCTCell(FCTCellConfig{Name: name, Duration: d, Scheme: scheme, Incast: &workload.IncastBurstConfig{
 			Senders:       fctSenders,
 			ResponseBytes: 4 << 10,
 			Rounds:        1,
 			UseScheme:     useScheme,
-		})
-		return fctPoint(name, eng, ft, base, &burst.Launched)
+		}})
 	}}
 }
 
@@ -188,6 +226,14 @@ func RunFCTShard(duration sim.Duration, shard ShardSpec, jobs int, progress io.W
 // comparison). Empty bins render as dashes so the table shape is stable
 // across cells that never produce a size class.
 func RenderFCT(w io.Writer, pts []FCTPoint) {
+	RenderFCTSummary(w, pts)
+	fmt.Fprintln(w)
+	RenderFCTBySize(w, pts)
+}
+
+// RenderFCTSummary prints the headline per-cell percentile table — the
+// "summary" metric of scenario fct specs.
+func RenderFCTSummary(w io.Writer, pts []FCTPoint) {
 	fmt.Fprintln(w, "Flow completion times: bounded-Pareto short flows and a 10k-sender incast burst under TCP/DCTCP/XMP-2 (k=8 fat-tree)")
 	tb := newTable(w, 14, 9, 9, 11, 11, 11, 11, 9)
 	tb.row("cell", "launched", "flows", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "drops")
@@ -196,7 +242,11 @@ func RenderFCT(w io.Writer, pts []FCTPoint) {
 		tb.row(p.Cell, fmt.Sprintf("%d", p.Launched), fmt.Sprintf("%d", p.Flows),
 			f3(p.P50Ms), f3(p.P95Ms), f3(p.P99Ms), f3(p.P999Ms), fmt.Sprintf("%d", p.Drops))
 	}
-	fmt.Fprintln(w)
+}
+
+// RenderFCTBySize prints the flow-size breakdown — the "by-size" metric of
+// scenario fct specs.
+func RenderFCTBySize(w io.Writer, pts []FCTPoint) {
 	fmt.Fprintln(w, "By flow size (acknowledged bytes at completion)")
 	sb := newTable(w, 14, 10, 9, 11, 11, 11)
 	sb.row("cell", "size", "flows", "p50 ms", "p99 ms", "p999 ms")

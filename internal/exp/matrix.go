@@ -62,6 +62,16 @@ func matrixConfigDesc(base FatTreeConfig, patterns []Pattern, schemes []workload
 			fmt.Fprintf(&b, "/b%d", s.Beta)
 		}
 	}
+	if base.Chaos != nil {
+		// Appended only when a schedule is present: the canonical
+		// chaos-free description — and with it every existing golden's
+		// config hash — is unchanged.
+		schedJSON, err := json.Marshal(base.Chaos)
+		if err != nil {
+			panic("exp: " + err.Error())
+		}
+		fmt.Fprintf(&b, " chaos=%s", schedJSON)
+	}
 	return b.String()
 }
 

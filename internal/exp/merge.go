@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // This file reassembles sharded campaigns. A ShardFile is what one
@@ -178,6 +179,10 @@ func mergeList[T any](blobs []ShardBlob) ([]T, error) {
 // Campaign) is populated.
 type MergeResult struct {
 	Campaign string
+	// Config is the shard set's config description. For scenario-compiled
+	// campaigns it embeds the resolved spec, which is where Render finds
+	// the scenario's metric selection.
+	Config   string
 	Matrix   *Matrix
 	Table2   []*Table2Result
 	Params   []ParamPoint
@@ -202,7 +207,7 @@ func MergeShardBlobs(blobs []ShardBlob) (*MergeResult, error) {
 	if err := json.Unmarshal(blobs[0].Data, &peek); err != nil {
 		return nil, fmt.Errorf("%s: %v", blobs[0].Name, err)
 	}
-	res := &MergeResult{Campaign: peek.Manifest.Campaign}
+	res := &MergeResult{Campaign: peek.Manifest.Campaign, Config: peek.Manifest.Config}
 	var err error
 	switch peek.Manifest.Campaign {
 	case CampaignMatrix:
@@ -245,6 +250,10 @@ func MergeShardBlobs(blobs []ShardBlob) (*MergeResult, error) {
 // cleanly against the checked-in results_*.txt goldens (minus the stderr
 // timing trailer).
 func (r *MergeResult) Render(w io.Writer) {
+	if metrics := scenarioMetrics(r.Config); len(metrics) > 0 {
+		r.renderMetrics(w, metrics)
+		return
+	}
 	switch r.Campaign {
 	case CampaignMatrix:
 		r.Matrix.RenderCampaign(w)
@@ -266,6 +275,76 @@ func (r *MergeResult) Render(w io.Writer) {
 		RenderFCT(w, r.FCT)
 	case CampaignRobustness:
 		RenderRobustness(w, r.Robust)
+	}
+}
+
+// scenarioMetrics extracts the metric selection from a scenario-compiled
+// config description ("scenario {...resolved spec...}") without importing
+// the scenario package — exp cannot depend on its own client. Non-scenario
+// configs, and scenario specs with no metrics field, return nil, which
+// Render treats as "everything" via the family's full renderer.
+func scenarioMetrics(config string) []string {
+	const prefix = "scenario "
+	if !strings.HasPrefix(config, prefix) {
+		return nil
+	}
+	var s struct {
+		Metrics []string `json:"metrics"`
+	}
+	if json.Unmarshal([]byte(config[len(prefix):]), &s) != nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// renderMetrics renders a scenario's selected tables, in spec order, with
+// the same inter-table structure the full renderers use — so a spec that
+// lists all of its family's tables renders byte-identically to one that
+// lists none.
+func (r *MergeResult) renderMetrics(w io.Writer, metrics []string) {
+	switch r.Campaign {
+	case CampaignMatrix:
+		for _, m := range metrics {
+			fmt.Fprintln(w)
+			switch m {
+			case "table1":
+				r.Matrix.RenderTable1(w)
+			case "table3":
+				r.Matrix.RenderTable3(w)
+			case "fig8":
+				r.Matrix.RenderFig8(w)
+			case "fig9":
+				r.Matrix.RenderFig9(w)
+			case "fig10":
+				r.Matrix.RenderFig10(w)
+			case "fig11":
+				r.Matrix.RenderFig11(w)
+			}
+		}
+	case CampaignFCT:
+		for i, m := range metrics {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			switch m {
+			case "summary":
+				RenderFCTSummary(w, r.FCT)
+			case "by-size":
+				RenderFCTBySize(w, r.FCT)
+			}
+		}
+	case CampaignRobustness:
+		for i, m := range metrics {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			switch m {
+			case "summary":
+				RenderRobustnessSummary(w, r.Robust)
+			case "by-size":
+				RenderRobustnessBySize(w, r.Robust)
+			}
+		}
 	}
 }
 

@@ -77,49 +77,117 @@ func robustnessFatTree(eng *sim.Engine, lossRNG *sim.RNG) *topo.FatTree {
 	return topo.NewFatTree(eng, topo.DefaultFatTreeConfig(qm))
 }
 
-func runRobustnessCell(s workload.Scheme, duration sim.Duration) RobustnessPoint {
-	eng := sim.NewEngine()
-	rng := sim.NewRNG(1)
-	ft := robustnessFatTree(eng, rng.Fork(99))
-	col := workload.NewCollector(16)
-	base := workload.Config{
-		Net:       ft,
-		RNG:       rng,
-		Scheme:    s,
-		Transport: transport.DefaultConfig(),
-		Collector: col,
-		Stop:      sim.Time(duration),
-		Arena:     mptcp.NewArena(),
-	}
-	workload.StartRandom(workload.RandomConfig{
-		Config:          base,
+// RobustnessRandom / RobustnessShort are the canonical robustness-cell
+// generator parameters, shared with the declarative scenario defaults.
+var (
+	RobustnessRandom = workload.RandomConfig{
 		ParetoMeanBytes: 12 << 20,
 		ParetoMaxBytes:  48 << 20,
 		MaxFlowsPerDst:  4,
-	})
-	workload.StartShortFlows(workload.ShortFlowsConfig{
-		Config:    base,
+	}
+	RobustnessShort = workload.ShortFlowsConfig{
 		Alpha:     1.1,
 		MeanBytes: 48 << 10,
 		MinBytes:  1 << 10,
 		MaxBytes:  2 << 20,
 		PerHost:   1,
-	})
-	inj, err := chaos.New(ft.Network, RobustnessSchedule())
-	if err != nil {
-		panic(fmt.Sprintf("exp: robustness schedule does not resolve: %v", err))
 	}
-	inj.Install()
+)
+
+// ChaosCellConfig parameterizes one fault-campaign cell: a fabric, the
+// workload generators to start on it, a scheme, and an optional fault
+// schedule. The zero value with only Scheme set reproduces the canonical
+// robustness cell minus its schedule.
+type ChaosCellConfig struct {
+	Scheme   workload.Scheme
+	Duration sim.Duration // simulated horizon; 0 means 40 ms
+	Seed     int64        // cell RNG seed; 0 means 1
+	// Lossy forks a loss RNG off the cell RNG — before anything else
+	// consumes it, preserving the canonical robustness stream order — and
+	// hands it to Fabric. Loss-burst events require a Lossy fabric.
+	Lossy bool
+	// Fabric builds the cell's network on eng and returns both the
+	// workload-facing fabric and the netem graph (for fault-target
+	// resolution and drop accounting). lossRNG is non-nil iff Lossy is
+	// set. nil means the robustness default: k=8 fat-tree, every queue
+	// Lossy-wrapped (inert at p=0).
+	Fabric func(eng *sim.Engine, lossRNG *sim.RNG) (topo.Fabric, *topo.Network)
+	// Random and Short start the corresponding generators when non-nil;
+	// their embedded workload.Config is overwritten with the cell's.
+	Random *workload.RandomConfig
+	Short  *workload.ShortFlowsConfig
+	// Schedule, when non-nil, is installed before the run. Targets must
+	// resolve against the fabric; callers that accept untrusted specs
+	// (internal/scenario) pre-resolve targets before reaching this point,
+	// so a failure here is a logic bug and panics.
+	Schedule *chaos.Schedule
+}
+
+// RunChaosCell runs one parameterized fault-campaign cell. The canonical
+// robustness cells go through here; so do declarative scenario cells,
+// which vary the fabric, generators, seed and schedule.
+func RunChaosCell(cfg ChaosCellConfig) RobustnessPoint {
+	if cfg.Duration == 0 {
+		cfg.Duration = 40 * sim.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Fabric == nil {
+		cfg.Lossy = true
+		cfg.Fabric = func(eng *sim.Engine, lossRNG *sim.RNG) (topo.Fabric, *topo.Network) {
+			ft := robustnessFatTree(eng, lossRNG)
+			return ft, ft.Network
+		}
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	var lossRNG *sim.RNG
+	if cfg.Lossy {
+		lossRNG = rng.Fork(99)
+	}
+	fab, net := cfg.Fabric(eng, lossRNG)
+	col := workload.NewCollector(16)
+	base := workload.Config{
+		Net:       fab,
+		RNG:       rng,
+		Scheme:    cfg.Scheme,
+		Transport: transport.DefaultConfig(),
+		Collector: col,
+		Stop:      sim.Time(cfg.Duration),
+		Arena:     mptcp.NewArena(),
+	}
+	if cfg.Random != nil {
+		r := *cfg.Random
+		r.Config = base
+		workload.StartRandom(r)
+	}
+	if cfg.Short != nil {
+		s := *cfg.Short
+		s.Config = base
+		workload.StartShortFlows(s)
+	}
+	var inj *chaos.Injector
+	if cfg.Schedule != nil {
+		var err error
+		inj, err = chaos.New(net, *cfg.Schedule)
+		if err != nil {
+			panic(fmt.Sprintf("exp: chaos schedule does not resolve: %v", err))
+		}
+		inj.Install()
+	}
 	eng.RunAll(4_000_000_000)
 	p := RobustnessPoint{
-		Scheme:      s.Label(),
+		Scheme:      cfg.Scheme.Label(),
 		GoodputMbps: col.Goodput.Mean(),
 		Flows:       col.FlowsCompleted,
-		Faults:      inj.Applied(),
 		P50Ms:       col.FCT.Percentile(50),
 		P95Ms:       col.FCT.Percentile(95),
 		P99Ms:       col.FCT.Percentile(99),
 		P999Ms:      col.FCT.Percentile(99.9),
+	}
+	if inj != nil {
+		p.Faults = inj.Applied()
 	}
 	for i, d := range col.FCTBySize {
 		p.BySize[i] = FCTBinPoint{
@@ -129,10 +197,22 @@ func runRobustnessCell(s workload.Scheme, duration sim.Duration) RobustnessPoint
 			P999Ms: d.Percentile(99.9),
 		}
 	}
-	for _, li := range ft.Links() {
+	for _, li := range net.Links() {
 		p.Drops += li.Queue().Stats().DroppedPackets
 	}
 	return p
+}
+
+func runRobustnessCell(s workload.Scheme, duration sim.Duration) RobustnessPoint {
+	sched := RobustnessSchedule()
+	random, short := RobustnessRandom, RobustnessShort
+	return RunChaosCell(ChaosCellConfig{
+		Scheme:   s,
+		Duration: duration,
+		Random:   &random,
+		Short:    &short,
+		Schedule: &sched,
+	})
 }
 
 // RunRobustness runs the whole campaign and returns its cells in order.
@@ -169,6 +249,14 @@ func RunRobustnessShard(duration sim.Duration, shard ShardSpec, jobs int, progre
 // RenderRobustness prints the goodput/FCT table, then the per-size-bin
 // slicing, mirroring the FCT campaign's layout.
 func RenderRobustness(w io.Writer, pts []RobustnessPoint) {
+	RenderRobustnessSummary(w, pts)
+	fmt.Fprintln(w)
+	RenderRobustnessBySize(w, pts)
+}
+
+// RenderRobustnessSummary prints the headline per-scheme table — the
+// "summary" metric of scenario robustness specs.
+func RenderRobustnessSummary(w io.Writer, pts []RobustnessPoint) {
 	fmt.Fprintln(w, "Robustness under faults: link flap, switch failure, loss burst, delay and jitter (k=8 fat-tree, identical schedule per scheme)")
 	tb := newTable(w, 10, 16, 8, 8, 11, 11, 11, 11, 9)
 	tb.row("scheme", "goodput(Mbps)", "flows", "faults", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "drops")
@@ -177,7 +265,11 @@ func RenderRobustness(w io.Writer, pts []RobustnessPoint) {
 		tb.row(p.Scheme, f1(p.GoodputMbps), fmt.Sprintf("%d", p.Flows), fmt.Sprintf("%d", p.Faults),
 			f3(p.P50Ms), f3(p.P95Ms), f3(p.P99Ms), f3(p.P999Ms), fmt.Sprintf("%d", p.Drops))
 	}
-	fmt.Fprintln(w)
+}
+
+// RenderRobustnessBySize prints the flow-size breakdown — the "by-size"
+// metric of scenario robustness specs.
+func RenderRobustnessBySize(w io.Writer, pts []RobustnessPoint) {
 	fmt.Fprintln(w, "By flow size (acknowledged bytes at completion)")
 	sb := newTable(w, 10, 10, 9, 11, 11, 11)
 	sb.row("scheme", "size", "flows", "p50 ms", "p99 ms", "p999 ms")

@@ -106,6 +106,13 @@ type ShardManifest struct {
 	CellIndices []int `json:"cell_indices"`
 }
 
+// NewShardManifest stamps a manifest for one shard of a campaign. It is
+// the exported form of newManifest for registered campaign extensions
+// (internal/scenario) that build shard files outside this package.
+func NewShardManifest(campaign, configDesc string, shard ShardSpec, totalCells int) ShardManifest {
+	return newManifest(campaign, configDesc, shard, totalCells)
+}
+
 // newManifest stamps a manifest for one shard of a campaign.
 func newManifest(campaign, configDesc string, shard ShardSpec, totalCells int) ShardManifest {
 	return ShardManifest{

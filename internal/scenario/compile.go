@@ -1,0 +1,301 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"xmp/internal/chaos"
+	"xmp/internal/exp"
+	"xmp/internal/netem"
+	"xmp/internal/sim"
+	"xmp/internal/topo"
+	"xmp/internal/workload"
+)
+
+// Compiled is a scenario lowered onto a campaign cell space. Its shard
+// files carry the family's campaign name (so merge decodes and renders
+// them with the family's existing machinery and goldens) but the
+// scenario's own config description and hash — the canonical JSON of the
+// fully-resolved spec — so shard sets from different specs, or from a
+// spec and its hand-written counterpart, refuse to merge.
+type Compiled struct {
+	// Spec is the resolved spec (Resolve applied: defaults explicit,
+	// chaos inlined, timescale folded).
+	Spec *Spec
+	// JSON is the canonical serialization of Spec; Desc is the manifest
+	// config description ("scenario " + JSON) and Hash its SHA-256.
+	JSON []byte
+	Desc string
+	Hash string
+	// Campaign is the family's campaign name ("matrix", "robustness",
+	// "fct") — what the shard manifests carry.
+	Campaign string
+	// Labels names every cell, in cell-index order.
+	Labels []string
+
+	schemes []workload.Scheme
+}
+
+// Compile resolves and lowers a spec. dir is the directory chaos-file
+// references resolve against (the spec file's directory; "" = cwd).
+func Compile(s *Spec, dir string) (*Compiled, error) {
+	r, err := Resolve(s, dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", r.Name, err)
+	}
+	c := &Compiled{
+		Spec: r,
+		JSON: data,
+		Desc: "scenario " + string(data),
+	}
+	c.Hash = exp.HashConfig(c.Desc)
+	c.schemes = make([]workload.Scheme, len(r.Schemes))
+	for i, label := range r.Schemes {
+		sch, err := workload.ParseScheme(label)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %v", r.Name, err) // unreachable: Resolve canonicalized
+		}
+		c.schemes[i] = sch
+	}
+	switch r.Family {
+	case FamilyMatrix:
+		c.Campaign = exp.CampaignMatrix
+		for _, w := range r.Workloads {
+			for _, sl := range r.Schemes {
+				c.Labels = append(c.Labels, string(matrixPattern(w.Kind))+"/"+sl)
+			}
+		}
+	case FamilyRobustness:
+		c.Campaign = exp.CampaignRobustness
+		for _, sl := range r.Schemes {
+			for _, seed := range r.Seeds {
+				c.Labels = append(c.Labels, robustnessLabel(sl, seed, len(r.Seeds)))
+			}
+		}
+	case FamilyFCT:
+		c.Campaign = exp.CampaignFCT
+		for _, w := range r.Workloads {
+			c.Labels = append(c.Labels, w.Name)
+		}
+	}
+	return c, nil
+}
+
+// CompileFile loads, resolves and compiles a spec file.
+func CompileFile(path string) (*Compiled, error) {
+	s, dir, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(s, dir)
+}
+
+// Cells returns the campaign-wide cell count.
+func (c *Compiled) Cells() int { return len(c.Labels) }
+
+func matrixPattern(kind string) exp.Pattern {
+	switch kind {
+	case "permutation":
+		return exp.Permutation
+	case "random":
+		return exp.Random
+	case "incast":
+		return exp.Incast
+	}
+	panic(fmt.Sprintf("scenario: unvalidated matrix pattern %q", kind))
+}
+
+// robustnessLabel suffixes the seed only when the seeds axis is real, so
+// a single-seed scenario's rows — and rendered tables — match the
+// hand-written robustness campaign exactly.
+func robustnessLabel(scheme string, seed int64, nseeds int) string {
+	if nseeds > 1 {
+		return fmt.Sprintf("%s@s%d", scheme, seed)
+	}
+	return scheme
+}
+
+func (c *Compiled) duration() sim.Duration {
+	return sim.Duration(c.Spec.DurationMS * float64(sim.Millisecond))
+}
+
+// fabric builds the scenario's topology for one cell. lossRNG is consumed
+// only when the topology is lossy.
+func (c *Compiled) fabric(eng *sim.Engine, lossRNG *sim.RNG) (topo.Fabric, *topo.Network) {
+	t := c.Spec.Topology
+	qm := topo.ECNMaker(t.QueueLimit, t.MarkThreshold)
+	if t.Lossy {
+		qm = func(ba *netem.BuildArena) netem.Queue {
+			return netem.NewLossy(ba.NewThresholdECN(t.QueueLimit, t.MarkThreshold), 0, lossRNG)
+		}
+	}
+	if t.Kind == "vl2" {
+		v := topo.NewVL2(eng, topo.DefaultVL2Config(qm))
+		return v, v.Network
+	}
+	tc := topo.DefaultFatTreeConfig(qm)
+	tc.K = t.K
+	ft := topo.NewFatTree(eng, tc)
+	return ft, ft.Network
+}
+
+// CheckTargets resolves the chaos schedule's fault targets against the
+// scenario's topology without running anything — the dry-run half of
+// `xmpsim run -validate`, and the fail-fast check RunShard performs so a
+// worker rejects a bad spec with an error instead of panicking mid-cell.
+// No-op without a chaos block.
+func (c *Compiled) CheckTargets() error {
+	if c.Spec.Chaos == nil {
+		return nil
+	}
+	eng := sim.NewEngine()
+	_, net := c.fabric(eng, sim.NewRNG(1))
+	if _, err := chaos.New(net, c.Spec.Chaos.Schedule()); err != nil {
+		return fmt.Errorf("scenario %s: %v", c.Spec.Name, err)
+	}
+	return nil
+}
+
+// RunShard executes the scenario's cells owned by shard and returns the
+// shard file — the same exp.ShardFile type the family's hand-written
+// campaign produces, with the manifest re-stamped to the scenario's
+// config. The caller validates the shard spec (exp.RunCampaignShard and
+// the CLI both do).
+func (c *Compiled) RunShard(shard exp.ShardSpec, jobs int, progress io.Writer) (exp.ShardEncoder, error) {
+	if err := c.CheckTargets(); err != nil {
+		return nil, err
+	}
+	r := c.Spec
+	switch r.Family {
+	case FamilyMatrix:
+		base := exp.FatTreeConfig{
+			K:             r.Topology.K,
+			MarkThreshold: r.Topology.MarkThreshold,
+			QueueLimit:    r.Topology.QueueLimit,
+			Duration:      c.duration(), // 0 keeps the per-pattern defaults
+			SizeScale:     r.Scale.SizeScale,
+			Seed:          r.Scale.Seed,
+		}
+		if r.Chaos != nil {
+			sched := r.Chaos.Schedule()
+			base.Chaos = &sched
+		}
+		patterns := make([]exp.Pattern, len(r.Workloads))
+		for i, w := range r.Workloads {
+			patterns[i] = matrixPattern(w.Kind)
+		}
+		f := exp.RunMatrixShard(base, patterns, c.schemes, shard, jobs, progress)
+		f.Manifest.Config = c.Desc
+		f.Manifest.ConfigHash = c.Hash
+		return f, nil
+
+	case FamilyRobustness:
+		var random *workload.RandomConfig
+		var short *workload.ShortFlowsConfig
+		for _, w := range r.Workloads {
+			switch w.Kind {
+			case "random":
+				random = &workload.RandomConfig{
+					ParetoMeanBytes: w.MeanBytes,
+					ParetoMaxBytes:  w.MaxBytes,
+					MaxFlowsPerDst:  w.MaxFlowsPerDst,
+				}
+			case "shortflows":
+				short = &workload.ShortFlowsConfig{
+					Alpha:     w.Alpha,
+					MeanBytes: w.MeanBytes,
+					MinBytes:  w.MinBytes,
+					MaxBytes:  w.MaxBytes,
+					PerHost:   w.PerHost,
+				}
+			}
+		}
+		var sched *chaos.Schedule
+		if r.Chaos != nil {
+			s := r.Chaos.Schedule()
+			sched = &s
+		}
+		nseeds := len(r.Seeds)
+		cells := exp.RunShard(len(c.schemes)*nseeds, jobs, shard,
+			func(i int) exp.RobustnessPoint {
+				si, di := i/nseeds, i%nseeds
+				p := exp.RunChaosCell(exp.ChaosCellConfig{
+					Scheme:   c.schemes[si],
+					Duration: c.duration(),
+					Seed:     r.Seeds[di],
+					Lossy:    r.Topology.Lossy,
+					Fabric:   c.fabric,
+					Random:   random,
+					Short:    short,
+					Schedule: sched,
+				})
+				p.Scheme = robustnessLabel(p.Scheme, r.Seeds[di], nseeds)
+				return p
+			},
+			func(_ int, p exp.RobustnessPoint) {
+				if progress != nil {
+					fmt.Fprintf(progress, "robustness %-6s goodput=%6.1f Mbps flows=%-5d p99=%8.3fms faults=%d\n",
+						p.Scheme, p.GoodputMbps, p.Flows, p.P99Ms, p.Faults)
+				}
+			})
+		return &exp.ShardFile[exp.RobustnessPoint]{
+			Manifest: exp.NewShardManifest(c.Campaign, c.Desc, shard, len(c.schemes)*nseeds),
+			Cells:    cells,
+		}, nil
+
+	case FamilyFCT:
+		cells := exp.RunShard(len(r.Workloads), jobs, shard,
+			func(i int) exp.FCTPoint {
+				w := r.Workloads[i]
+				cfg := exp.FCTCellConfig{
+					Name:          w.Name,
+					Duration:      c.duration(),
+					Seed:          r.Scale.Seed,
+					K:             r.Topology.K,
+					MarkThreshold: r.Topology.MarkThreshold,
+					QueueLimit:    r.Topology.QueueLimit,
+				}
+				if w.Scheme != "" {
+					sch, err := workload.ParseScheme(w.Scheme)
+					if err != nil {
+						panic("scenario: " + err.Error()) // unreachable: Resolve canonicalized
+					}
+					cfg.Scheme = sch
+				}
+				switch w.Kind {
+				case "shortflows":
+					cfg.Short = &workload.ShortFlowsConfig{
+						Alpha:     w.Alpha,
+						MeanBytes: w.MeanBytes,
+						MinBytes:  w.MinBytes,
+						MaxBytes:  w.MaxBytes,
+						PerHost:   w.PerHost,
+					}
+				case "incast-burst":
+					cfg.Incast = &workload.IncastBurstConfig{
+						Senders:       w.Senders,
+						ResponseBytes: w.ResponseBytes,
+						Rounds:        w.Rounds,
+						UseScheme:     w.Scheme != "",
+					}
+				}
+				return exp.RunFCTCell(cfg)
+			},
+			func(_ int, p exp.FCTPoint) {
+				if progress != nil {
+					fmt.Fprintf(progress, "fct %-10s flows=%-6d p50=%7.3fms p99=%8.3fms p999=%8.3fms drops=%d\n",
+						p.Cell, p.Flows, p.P50Ms, p.P99Ms, p.P999Ms, p.Drops)
+				}
+			})
+		return &exp.ShardFile[exp.FCTPoint]{
+			Manifest: exp.NewShardManifest(c.Campaign, c.Desc, shard, len(r.Workloads)),
+			Cells:    cells,
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario %s: unknown family %q", r.Name, r.Family)
+}

@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"xmp/internal/exp"
+)
+
+// The scenario campaign registers like any hand-written campaign, which
+// is what gives `xmpsim run` sharded workers, JSON shard export, merge
+// and dispatch for free: a dispatch task with Campaign "scenario"
+// carries the resolved spec in RunParams.Scenario, and workers re-derive
+// the config hash from it through the ordinary CampaignProbe path.
+func init() {
+	exp.RegisterCampaign(exp.CampaignScenario, runRegistered)
+}
+
+func runRegistered(p exp.RunParams, shard exp.ShardSpec, progress io.Writer) (exp.ShardEncoder, error) {
+	if len(p.Scenario) == 0 {
+		return nil, fmt.Errorf("scenario: campaign %q needs an inline spec in params.scenario", exp.CampaignScenario)
+	}
+	s, err := Parse(p.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	// The embedded spec is already resolved (chaos inlined, defaults
+	// explicit), so re-resolving needs no spec directory and is the
+	// identity — re-deriving the same canonical JSON and hash on the
+	// worker that the coordinator stamped into the task.
+	c, err := Compile(s, "")
+	if err != nil {
+		return nil, err
+	}
+	return c.RunShard(shard, p.Jobs, progress)
+}

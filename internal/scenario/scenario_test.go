@@ -1,0 +1,521 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xmp/internal/chaos"
+	"xmp/internal/exp"
+	"xmp/internal/sim"
+	"xmp/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Strict parsing: unknown fields are rejected at every nesting level.
+
+func TestUnknownFieldsRejected(t *testing.T) {
+	docs := map[string]string{
+		"top level":    `{"name":"x","family":"matrix","schemes":["DCTCP"],"bogus":1}`,
+		"topology":     `{"name":"x","family":"matrix","schemes":["DCTCP"],"topology":{"kind":"fattree","bogus":1}}`,
+		"scale":        `{"name":"x","family":"matrix","schemes":["DCTCP"],"scale":{"seed":2,"bogus":1}}`,
+		"workload":     `{"name":"x","family":"matrix","schemes":["DCTCP"],"workloads":[{"kind":"random","bogus":1}]}`,
+		"chaos":        `{"name":"x","family":"matrix","schemes":["DCTCP"],"chaos":{"seed":1,"bogus":1}}`,
+		"chaos event":  `{"name":"x","family":"matrix","schemes":["DCTCP"],"chaos":{"events":[{"at":0,"kind":"link-down","target":"a","bogus":1}]}}`,
+		"trailing doc": `{"name":"x","family":"matrix","schemes":["DCTCP"]} {"more":1}`,
+	}
+	for level, doc := range docs {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: unknown field accepted", level)
+		}
+	}
+	if _, err := Parse([]byte(`{"name":"x","family":"matrix","schemes":["DCTCP"]}`)); err != nil {
+		t.Fatalf("clean spec rejected: %v", err)
+	}
+}
+
+func TestUnknownFieldsRejectedInChaosFile(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"top":   `{"seed":1,"events":[{"at":0,"kind":"link-down","target":"core0.0->agg0.0"}],"bogus":1}`,
+		"event": `{"seed":1,"events":[{"at":0,"kind":"link-down","target":"core0.0->agg0.0","bogus":1}]}`,
+	} {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := &Spec{Name: "x", Family: FamilyRobustness, Schemes: []string{"DCTCP"},
+			Chaos: &ChaosSpec{File: name + ".json"}}
+		if _, err := Resolve(s, dir); err == nil {
+			t.Errorf("chaos file with unknown %s-level field accepted", name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash sensitivity: every semantic field change flips the config hash.
+
+func baseRobustnessSpec() *Spec {
+	return &Spec{
+		Name:     "hash-base",
+		Family:   FamilyRobustness,
+		Topology: &TopologySpec{Kind: "fattree", Lossy: true},
+		Schemes:  []string{"DCTCP", "XMP-2"},
+		Chaos: &ChaosSpec{Seed: 11, Events: []chaos.Event{
+			{At: 5 * sim.Millisecond, Kind: chaos.LinkDown, Target: "core0.0->agg0.0", Dur: 10 * sim.Millisecond},
+			{At: 12 * sim.Millisecond, Kind: chaos.LossBurst, Target: "edge0.0->agg0.0", P: 0.02, Dur: 10 * sim.Millisecond},
+		}},
+	}
+}
+
+func mustCompile(t *testing.T, s *Spec) *Compiled {
+	t.Helper()
+	c, err := Compile(s, "")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := mustCompile(t, baseRobustnessSpec()).Hash
+	mutations := map[string]func(*Spec){
+		"name":            func(s *Spec) { s.Name = "other" },
+		"description":     func(s *Spec) { s.Description = "annotated" },
+		"duration_ms":     func(s *Spec) { s.DurationMS = 20 },
+		"topology.k":      func(s *Spec) { s.Topology.K = 4 },
+		"queue_limit":     func(s *Spec) { s.Topology.QueueLimit = 200 },
+		"mark_threshold":  func(s *Spec) { s.Topology.MarkThreshold = 20 },
+		"lossy":           func(s *Spec) { s.Topology.Lossy = false; s.Chaos.Events = s.Chaos.Events[:1] },
+		"sizescale":       func(s *Spec) { s.Scale = &ScaleSpec{SizeScale: 32} },
+		"seed":            func(s *Spec) { s.Scale = &ScaleSpec{Seed: 2} },
+		"timescale":       func(s *Spec) { s.Scale = &ScaleSpec{Timescale: 2} },
+		"schemes order":   func(s *Spec) { s.Schemes = []string{"XMP-2", "DCTCP"} },
+		"scheme dropped":  func(s *Spec) { s.Schemes = s.Schemes[:1] },
+		"scheme beta":     func(s *Spec) { s.Schemes = []string{"DCTCP", "XMP-2/b6"} },
+		"seeds axis":      func(s *Spec) { s.Seeds = []int64{1, 2} },
+		"workload params": func(s *Spec) { s.Workloads = []WorkloadSpec{{Kind: "random", MeanBytes: 1 << 20}} },
+		"chaos seed":      func(s *Spec) { s.Chaos.Seed = 12 },
+		"chaos event at":  func(s *Spec) { s.Chaos.Events[0].At++ },
+		"chaos event p":   func(s *Spec) { s.Chaos.Events[1].P = 0.03 },
+		"metrics":         func(s *Spec) { s.Metrics = []string{"summary"} },
+	}
+	for field, mutate := range mutations {
+		s := baseRobustnessSpec()
+		mutate(s)
+		if got := mustCompile(t, s).Hash; got == base {
+			t.Errorf("%s change did not flip the config hash", field)
+		}
+	}
+}
+
+// A one-byte edit to a referenced chaos file must flip the hash even
+// though the spec file itself is unchanged.
+func TestChaosFileEditFlipsHash(t *testing.T) {
+	dir := t.TempDir()
+	spec := []byte(`{"name":"x","family":"robustness","topology":{"lossy":true},"schemes":["DCTCP"],"chaos":{"file":"sched.json"}}`)
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, spec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sched := `{"seed":11,"events":[{"at":5000000,"kind":"link-down","target":"core0.0->agg0.0","dur":10000000}]}`
+	if err := os.WriteFile(filepath.Join(dir, "sched.json"), []byte(sched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := CompileFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(sched, "10000000", "10000001", 1)
+	if err := os.WriteFile(filepath.Join(dir, "sched.json"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Hash == c2.Hash {
+		t.Fatal("editing the referenced chaos file did not flip the config hash")
+	}
+	if c2.Spec.Chaos.File != "" {
+		t.Fatal("resolved spec still references the chaos file instead of inlining it")
+	}
+}
+
+// Two spellings of the same experiment — defaults omitted vs spelled out —
+// must hash equal.
+func TestDefaultsHashEqual(t *testing.T) {
+	implicit := &Spec{Name: "m", Family: FamilyMatrix, Schemes: []string{"DCTCP", "XMP-2"}}
+	explicit := &Spec{
+		Name:     "m",
+		Family:   FamilyMatrix,
+		Topology: &TopologySpec{Kind: "fattree", K: 8, QueueLimit: 100, MarkThreshold: 10},
+		Scale:    &ScaleSpec{Timescale: 1, SizeScale: 16, Seed: 1},
+		Workloads: []WorkloadSpec{
+			{Kind: "permutation"}, {Kind: "random"}, {Kind: "incast"},
+		},
+		Schemes: []string{"DCTCP", "XMP-2"},
+	}
+	h1, h2 := mustCompile(t, implicit).Hash, mustCompile(t, explicit).Hash
+	if h1 != h2 {
+		t.Fatalf("default spelling changed the hash: %s vs %s", h1, h2)
+	}
+}
+
+// Resolve must be idempotent: a resolved spec re-resolves (with no file
+// tree access) to itself — the property dispatch workers rely on.
+func TestResolveIdempotent(t *testing.T) {
+	specs, _ := filepath.Glob("../../scenarios/*.json")
+	if len(specs) == 0 {
+		t.Fatal("no shipped scenarios found")
+	}
+	for _, path := range specs {
+		if strings.Contains(path, "chaos") {
+			continue
+		}
+		s, dir, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := Resolve(s, dir)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		r2, err := Resolve(r1, "")
+		if err != nil {
+			t.Fatalf("%s: re-resolve: %v", path, err)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: Resolve is not idempotent:\n  once:  %+v\n  twice: %+v", path, r1, r2)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shipped scenarios compile, resolve their chaos targets, and round-trip
+// through the campaign registry.
+
+func TestShippedScenarios(t *testing.T) {
+	want := map[string]struct {
+		campaign string
+		cells    int
+	}{
+		"matrix.json":           {exp.CampaignMatrix, 15},
+		"robustness.json":       {exp.CampaignRobustness, 5},
+		"fct.json":              {exp.CampaignFCT, 5},
+		"permutation-flap.json": {exp.CampaignMatrix, 4},
+	}
+	for name, w := range want {
+		c, err := CompileFile(filepath.Join("../../scenarios", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.CheckTargets(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if c.Campaign != w.campaign || c.Cells() != w.cells {
+			t.Errorf("%s: campaign %q with %d cells, want %q with %d",
+				name, c.Campaign, c.Cells(), w.campaign, w.cells)
+		}
+		// Registry round-trip: probing the scenario campaign with the
+		// compiled spec inline re-derives the same hash and cell count —
+		// the contract dispatch coordinators and workers meet on.
+		_, hash, cells, err := exp.CampaignProbe(exp.CampaignScenario, exp.RunParams{Scenario: c.JSON})
+		if err != nil {
+			t.Fatalf("%s: probe: %v", name, err)
+		}
+		if hash != c.Hash || cells != c.Cells() {
+			t.Errorf("%s: registry probe disagrees: hash %s cells %d, compiled %s / %d",
+				name, hash, cells, c.Hash, c.Cells())
+		}
+	}
+}
+
+func TestScenarioCampaignNeedsSpec(t *testing.T) {
+	if _, _, _, err := exp.CampaignProbe(exp.CampaignScenario, exp.RunParams{}); err == nil {
+		t.Fatal("probing the scenario campaign without a spec should fail")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Validation errors.
+
+func TestResolveRejects(t *testing.T) {
+	cases := map[string]struct {
+		spec *Spec
+		want string
+	}{
+		"missing name":   {&Spec{Family: FamilyMatrix}, "name is required"},
+		"missing family": {&Spec{Name: "x"}, "family is required"},
+		"bad family":     {&Spec{Name: "x", Family: "grid"}, "unknown family"},
+		"odd k":          {&Spec{Name: "x", Family: FamilyMatrix, Topology: &TopologySpec{K: 7}, Schemes: []string{"DCTCP"}}, "fat-tree k"},
+		"vl2 in matrix":  {&Spec{Name: "x", Family: FamilyMatrix, Topology: &TopologySpec{Kind: "vl2"}, Schemes: []string{"DCTCP"}}, "vl2"},
+		"lossy matrix":   {&Spec{Name: "x", Family: FamilyMatrix, Topology: &TopologySpec{Lossy: true}, Schemes: []string{"DCTCP"}}, "lossy"},
+		"mark >= queue":  {&Spec{Name: "x", Family: FamilyMatrix, Topology: &TopologySpec{QueueLimit: 10, MarkThreshold: 10}, Schemes: []string{"DCTCP"}}, "mark_threshold"},
+		"no schemes":     {&Spec{Name: "x", Family: FamilyMatrix}, "schemes list is required"},
+		"dup scheme":     {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"XMP-2", "XMP-2"}}, "listed twice"},
+		"bad scheme":     {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"QUIC-2"}}, "unknown algorithm"},
+		"fct schemes":    {&Spec{Name: "x", Family: FamilyFCT, Schemes: []string{"DCTCP"}}, "per workload"},
+		"seeds matrix":   {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"}, Seeds: []int64{1}}, "seeds axis"},
+		"seed zero":      {&Spec{Name: "x", Family: FamilyRobustness, Schemes: []string{"DCTCP"}, Seeds: []int64{0}}, "seed 0"},
+		"chaos in fct": {&Spec{Name: "x", Family: FamilyFCT,
+			Workloads: []WorkloadSpec{{Name: "a", Kind: "shortflows"}},
+			Chaos:     &ChaosSpec{Events: []chaos.Event{{Kind: chaos.LinkDown, Target: "a"}}}}, "chaos"},
+		"loss-burst in matrix": {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"},
+			Chaos: &ChaosSpec{Events: []chaos.Event{{Kind: chaos.LossBurst, Target: "a", P: 0.1, Dur: 1}}}}, "loss-burst"},
+		"empty chaos":     {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"}, Chaos: &ChaosSpec{Seed: 1}}, "no events"},
+		"file and inline": {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"}, Chaos: &ChaosSpec{File: "f.json", Seed: 1}}, "excludes inline"},
+		"matrix pattern params": {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"},
+			Workloads: []WorkloadSpec{{Kind: "permutation", PerHost: 2}}}, "takes no parameters"},
+		"unnamed fct cell": {&Spec{Name: "x", Family: FamilyFCT,
+			Workloads: []WorkloadSpec{{Kind: "shortflows"}}}, "need a name"},
+		"foreign field": {&Spec{Name: "x", Family: FamilyRobustness, Schemes: []string{"DCTCP"},
+			Workloads: []WorkloadSpec{{Kind: "random", Senders: 5}}}, "does not apply"},
+		"unknown metric": {&Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"}, Metrics: []string{"table9"}}, "unknown metric"},
+	}
+	for name, tc := range cases {
+		_, err := Resolve(tc.spec, "")
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// CheckTargets must reject a schedule naming links the compiled topology
+// does not have, without running anything.
+func TestCheckTargetsRejectsBadTarget(t *testing.T) {
+	s := &Spec{Name: "x", Family: FamilyMatrix, Schemes: []string{"DCTCP"},
+		Chaos: &ChaosSpec{Events: []chaos.Event{{Kind: chaos.LinkDown, Target: "core9.9->agg9.9", Dur: 1}}}}
+	c := mustCompile(t, s)
+	if err := c.CheckTargets(); err == nil {
+		t.Fatal("unresolvable chaos target accepted")
+	}
+	if _, err := c.RunShard(exp.Unsharded, 1, nil); err == nil {
+		t.Fatal("RunShard executed a spec whose chaos targets do not resolve")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Small-scale byte/value identity against the hand-written runners, and
+// the seeds axis.
+
+func shardPoints[T any](t *testing.T, enc exp.ShardEncoder) []exp.ShardCell[T] {
+	t.Helper()
+	f, ok := enc.(*exp.ShardFile[T])
+	if !ok {
+		t.Fatalf("shard encoder is %T", enc)
+	}
+	return f.Cells
+}
+
+func renderBlob(t *testing.T, name string, enc exp.ShardEncoder) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := enc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.MergeShardBlobs([]exp.ShardBlob{{Name: name, Data: buf.Bytes()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	res.Render(&out)
+	return out.String()
+}
+
+func TestScenarioMatrixMatchesHandWritten(t *testing.T) {
+	s := &Spec{Name: "mini", Family: FamilyMatrix, DurationMS: 5,
+		Workloads: []WorkloadSpec{{Kind: "incast"}},
+		Schemes:   []string{"DCTCP", "XMP-2"}}
+	c := mustCompile(t, s)
+	enc, err := c.RunShard(exp.Unsharded, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := exp.RunMatrixShard(
+		exp.FatTreeConfig{K: 8, Duration: 5 * sim.Millisecond, SizeScale: 16, Seed: 1},
+		[]exp.Pattern{exp.Incast}, []workload.Scheme{exp.SchemeDCTCP, exp.SchemeXMP2},
+		exp.Unsharded, 2, nil)
+	if got, want := renderBlob(t, "scenario", enc), renderBlob(t, "hand", hand); got != want {
+		t.Errorf("scenario matrix render differs from hand-written:\n--- hand\n%s\n--- scenario\n%s", want, got)
+	}
+	m := enc.ShardManifest()
+	if m.Config != c.Desc || m.ConfigHash != c.Hash {
+		t.Errorf("manifest not re-stamped with the scenario config")
+	}
+}
+
+func TestScenarioRobustnessMatchesHandWritten(t *testing.T) {
+	sched := chaos.Schedule{Seed: 3, Events: []chaos.Event{
+		{At: sim.Millisecond, Kind: chaos.LinkDown, Target: "core0.0->agg0.0", Dur: sim.Millisecond},
+	}}
+	s := &Spec{Name: "mini", Family: FamilyRobustness, DurationMS: 4,
+		Topology: &TopologySpec{Lossy: true},
+		Schemes:  []string{"XMP-2"},
+		Chaos:    &ChaosSpec{Seed: sched.Seed, Events: sched.Events}}
+	enc, err := mustCompile(t, s).RunShard(exp.Unsharded, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := shardPoints[exp.RobustnessPoint](t, enc)
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	random, short := exp.RobustnessRandom, exp.RobustnessShort
+	hand := exp.RunChaosCell(exp.ChaosCellConfig{
+		Scheme:   exp.SchemeXMP2,
+		Duration: 4 * sim.Millisecond,
+		Lossy:    true,
+		Random:   &random,
+		Short:    &short,
+		Schedule: &sched,
+	})
+	if !reflect.DeepEqual(cells[0].Data, hand) {
+		t.Errorf("scenario robustness point differs from hand-written:\n  hand:     %+v\n  scenario: %+v", hand, cells[0].Data)
+	}
+}
+
+func TestScenarioFCTMatchesHandWritten(t *testing.T) {
+	s := &Spec{Name: "mini", Family: FamilyFCT, DurationMS: 3,
+		Workloads: []WorkloadSpec{{Name: "web", Kind: "shortflows", PerHost: 2}}}
+	enc, err := mustCompile(t, s).RunShard(exp.Unsharded, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := shardPoints[exp.FCTPoint](t, enc)
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	short := workload.ShortFlowsConfig{Alpha: 1.1, MeanBytes: 48 << 10, MinBytes: 1 << 10, MaxBytes: 2 << 20, PerHost: 2}
+	hand := exp.RunFCTCell(exp.FCTCellConfig{
+		Name:     "web",
+		Duration: 3 * sim.Millisecond,
+		Short:    &short,
+	})
+	if !reflect.DeepEqual(cells[0].Data, hand) {
+		t.Errorf("scenario fct point differs from hand-written:\n  hand:     %+v\n  scenario: %+v", hand, cells[0].Data)
+	}
+}
+
+func TestRobustnessSeedsAxis(t *testing.T) {
+	s := &Spec{Name: "seeds", Family: FamilyRobustness, DurationMS: 2,
+		Schemes: []string{"DCTCP"}, Seeds: []int64{1, 2}}
+	c := mustCompile(t, s)
+	if want := []string{"DCTCP@s1", "DCTCP@s2"}; !reflect.DeepEqual(c.Labels, want) {
+		t.Fatalf("labels %v, want %v", c.Labels, want)
+	}
+	enc, err := c.RunShard(exp.Unsharded, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := shardPoints[exp.RobustnessPoint](t, enc)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for i, want := range c.Labels {
+		if cells[i].Data.Scheme != want {
+			t.Errorf("cell %d labelled %q, want %q", i, cells[i].Data.Scheme, want)
+		}
+	}
+	if reflect.DeepEqual(cells[0].Data.BySize, cells[1].Data.BySize) {
+		t.Error("seeds 1 and 2 produced identical results — the seed axis is not live")
+	}
+}
+
+// Metrics filtering: listing every family table renders byte-identically
+// to listing none, and a subset renders only the selected tables.
+func TestMetricsFiltering(t *testing.T) {
+	run := func(metrics []string) string {
+		s := &Spec{Name: "mini", Family: FamilyMatrix, DurationMS: 5,
+			Workloads: []WorkloadSpec{{Kind: "incast"}},
+			Schemes:   []string{"DCTCP"}, Metrics: metrics}
+		enc, err := mustCompile(t, s).RunShard(exp.Unsharded, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderBlob(t, "m", enc)
+	}
+	full := run(nil)
+	all := run(FamilyTables(FamilyMatrix))
+	if full != all {
+		t.Errorf("explicit all-tables render differs from default:\n--- default\n%s\n--- all\n%s", full, all)
+	}
+	one := run([]string{"table1"})
+	if !strings.Contains(one, "Table 1") || strings.Contains(one, "Figure") {
+		t.Errorf("metrics [table1] rendered the wrong tables:\n%s", one)
+	}
+	if !strings.HasPrefix(full, one[:len(one)-1]) {
+		t.Errorf("table1-only render is not a prefix of the full render:\n%s", one)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Golden pins (full scale, XMP_GOLDEN=1): the shipped specs reproduce the
+// hand-written campaigns byte-for-byte through the 2-shard + merge path.
+
+func goldenScenario(t *testing.T, specName, goldenName string) {
+	if os.Getenv("XMP_GOLDEN") != "1" {
+		t.Skip("full-scale golden comparison; set XMP_GOLDEN=1 to run (~minutes)")
+	}
+	golden, err := os.ReadFile(filepath.Join("../..", goldenName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileFile(filepath.Join("../../scenarios", specName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs []exp.ShardBlob
+	for i := 0; i < 2; i++ {
+		enc, err := c.RunShard(exp.ShardSpec{Index: i, Count: 2}, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := enc.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, exp.ShardBlob{Name: fmt.Sprintf("shard-%d", i), Data: buf.Bytes()})
+	}
+	res, err := exp.MergeShardBlobs(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	res.Render(&got)
+	want := stripTrailer(string(golden))
+	if got.String() != want {
+		t.Errorf("%s via %s drifted from golden:\n--- golden\n%s\n--- scenario\n%s",
+			goldenName, specName, want, got.String())
+	}
+}
+
+// stripTrailer drops the stderr timing trailer captured in the goldens.
+func stripTrailer(golden string) string {
+	lines := strings.Split(golden, "\n")
+	for len(lines) > 0 {
+		last := lines[len(lines)-1]
+		if last == "" || strings.HasPrefix(last, "[") {
+			lines = lines[:len(lines)-1]
+			continue
+		}
+		break
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestGoldenScenarioRobustness(t *testing.T) {
+	goldenScenario(t, "robustness.json", "results_robustness.txt")
+}
+
+func TestGoldenScenarioFCT(t *testing.T) {
+	goldenScenario(t, "fct.json", "results_fct.txt")
+}

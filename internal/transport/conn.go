@@ -125,18 +125,18 @@ type Conn struct {
 	// normally outstanding — the supply returns MSS until the final
 	// partial segment — so a single inline entry covers the common case
 	// and the overflow map stays nil for the life of most connections.
-	shortSeq  int64 // -1 = none
-	shortLen  int
-	shortSegs map[int64]int
-	dupAcks        int
-	inRecovery     bool
-	recoverSeq     int64
-	pendingCWR     bool
-	rtt            rttEstimator
-	rtoH           sim.Handle
-	rtoArmed       bool
-	retries        int
-	stats          Stats
+	shortSeq   int64 // -1 = none
+	shortLen   int
+	shortSegs  map[int64]int
+	dupAcks    int
+	inRecovery bool
+	recoverSeq int64
+	pendingCWR bool
+	rtt        rttEstimator
+	rtoH       sim.Handle
+	rtoArmed   bool
+	retries    int
+	stats      Stats
 	// SACK scoreboard: segments above snd_una the receiver reported
 	// holding, and the recovery cursor for hole retransmission.
 	sacked     rangeSet

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"testing"
+
+	"xmp/internal/mptcp"
+)
+
+func TestParseSchemeRoundTrip(t *testing.T) {
+	labels := []string{
+		"TCP", "TCP-ECN", "DCTCP",
+		"XMP-2", "XMP-4", "LIA-2", "LIA-4", "OLIA-2", "AMP-2",
+		"BOS-uncoupled-2", "XMP-2/b6", "LIA-4/b4",
+	}
+	for _, label := range labels {
+		s, err := ParseScheme(label)
+		if err != nil {
+			t.Errorf("%s: %v", label, err)
+			continue
+		}
+		if got := SchemeString(s); got != label {
+			t.Errorf("%s: round-tripped to %q", label, got)
+		}
+	}
+}
+
+func TestParseSchemeValues(t *testing.T) {
+	s, err := ParseScheme("XMP-2/b6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Scheme{Algorithm: mptcp.AlgXMP, Subflows: 2, Beta: 6}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+	s, err = ParseScheme("DCTCP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != mptcp.AlgDCTCP || s.Subflows != 1 || s.Beta != 0 {
+		t.Fatalf("DCTCP parsed to %+v", s)
+	}
+}
+
+func TestParseSchemeRejects(t *testing.T) {
+	for _, label := range []string{
+		"", "TCP-2", "DCTCP-2", "XMP", "XMP-0", "XMP-x", "QUIC-2",
+		"XMP-2/b0", "XMP-2/bx", "xmp-2",
+	} {
+		if _, err := ParseScheme(label); err == nil {
+			t.Errorf("%q: accepted", label)
+		}
+	}
+}

@@ -9,8 +9,8 @@ import (
 	"fmt"
 
 	"xmp/internal/metrics"
-	"xmp/internal/netem"
 	"xmp/internal/mptcp"
+	"xmp/internal/netem"
 	"xmp/internal/sim"
 	"xmp/internal/topo"
 	"xmp/internal/transport"
